@@ -1,0 +1,28 @@
+"""Raw simulated-execution benchmarks: one workload per configuration
+class, so `pytest benchmarks/ --benchmark-only` reports how costly each
+engine is to simulate (useful when extending the harness)."""
+
+import pytest
+
+from repro.native.profiles import MOBILE_SFI
+from repro.runtime.loader import run_module
+from repro.runtime.native_loader import run_on_target
+from repro.workloads import suite
+
+
+def bench_interpreter_eqntott(benchmark):
+    program = suite.build("eqntott")
+    code, host = benchmark.pedantic(
+        lambda: run_module(program), rounds=1, iterations=1
+    )
+    assert suite.check_output("eqntott", host.output_values())
+
+
+@pytest.mark.parametrize("arch", ["mips", "x86"])
+def bench_translated_eqntott(benchmark, arch):
+    program = suite.build("eqntott")
+    _code, module = benchmark.pedantic(
+        lambda: run_on_target(program, arch, MOBILE_SFI),
+        rounds=1, iterations=1,
+    )
+    assert suite.check_output("eqntott", module.host.output_values())

@@ -1,0 +1,13 @@
+"""Figure 1: dynamic instruction expansion introduced by translation on
+MIPS and PowerPC, by category (addr / cmp / ldi / bnop / sfi)."""
+
+from repro.evalharness.figures import figure1
+from repro.workloads.suite import WORKLOAD_NAMES
+
+
+def bench_figure1(benchmark, runner, save_result):
+    fig = benchmark.pedantic(lambda: figure1(runner), rounds=1, iterations=1)
+    save_result("figure1", fig.render())
+    ppc_cmp = sum(fig.expansion["ppc"][w]["cmp"] for w in WORKLOAD_NAMES)
+    mips_cmp = sum(fig.expansion["mips"][w]["cmp"] for w in WORKLOAD_NAMES)
+    assert ppc_cmp > mips_cmp  # the paper's headline Figure-1 contrast

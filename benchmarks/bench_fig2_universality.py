@@ -1,0 +1,15 @@
+"""Figure 2: the universal mobile-code substrate — modules from multiple
+source languages linked into one OmniVM program running identically on
+the reference VM and all four translated targets."""
+
+from repro.evalharness.figures import figure2_demo
+
+
+def bench_figure2(benchmark, save_result):
+    outputs = benchmark.pedantic(figure2_demo, rounds=1, iterations=1)
+    lines = ["Figure 2: one mobile program, five execution engines", ""]
+    for engine, values in outputs.items():
+        lines.append(f"  {engine:>7}: {values}")
+    save_result("figure2", "\n".join(lines))
+    values = list(outputs.values())
+    assert all(v == values[0] for v in values)

@@ -1,0 +1,16 @@
+"""Table 1: execution time of translated code with SFI, relative to the
+native code produced by the vendor cc compiler (the paper's headline
+result: mobile code within ~21% of unsafe optimized native code)."""
+
+from repro.evalharness import tables
+
+
+def bench_table1(benchmark, runner, save_result):
+    def regenerate():
+        return tables.table1(runner)
+
+    table = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_result("table1", table.render())
+    # Sanity: the headline claim's shape (generous simulator band).
+    for arch in table.columns:
+        assert 0.9 <= table.ratios["average"][arch] <= 1.4

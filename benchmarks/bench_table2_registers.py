@@ -1,0 +1,13 @@
+"""Table 2: average overhead vs native SPARC cc as the OmniVM register
+file size shrinks from 16 to 8 registers (the compiler's linear-scan
+allocator is restricted; spills do the damage)."""
+
+from repro.evalharness import tables
+
+
+def bench_table2(benchmark, runner, save_result):
+    table = benchmark.pedantic(lambda: tables.table2(runner),
+                               rounds=1, iterations=1)
+    save_result("table2", table.render())
+    averages = [table.ratios["average"][str(s)] for s in (8, 10, 12, 14, 16)]
+    assert averages[0] >= averages[-1]

@@ -1,0 +1,12 @@
+"""Table 3: mobile code vs native cc, with and without SFI
+(SFI costs roughly 5-10% on top of translation)."""
+
+from repro.evalharness import tables
+
+
+def bench_table3(benchmark, runner, save_result):
+    sfi, nosfi = benchmark.pedantic(lambda: tables.table3(runner),
+                                    rounds=1, iterations=1)
+    save_result("table3", sfi.render() + "\n\n" + nosfi.render())
+    for arch in sfi.columns:
+        assert sfi.ratios["average"][arch] >= nosfi.ratios["average"][arch]

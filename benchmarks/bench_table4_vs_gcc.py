@@ -1,0 +1,13 @@
+"""Table 4: mobile code vs native gcc.  Because the mobile code was
+compiled by the same front end, the no-SFI ratio is ~1.0 everywhere —
+the paper's "virtually indistinguishable from gcc" observation."""
+
+from repro.evalharness import tables
+
+
+def bench_table4(benchmark, runner, save_result):
+    sfi, nosfi = benchmark.pedantic(lambda: tables.table4(runner),
+                                    rounds=1, iterations=1)
+    save_result("table4", sfi.render() + "\n\n" + nosfi.render())
+    for arch in nosfi.columns:
+        assert abs(nosfi.ratios["average"][arch] - 1.0) < 0.02

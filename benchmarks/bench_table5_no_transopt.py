@@ -1,0 +1,16 @@
+"""Table 5: translation with the translator optimizations (local
+scheduling, delay-slot filling, peepholes) disabled, vs native cc.
+Shows the cheap load-time optimizations recover real performance and
+hide part of the SFI cost in pipeline interlock slots."""
+
+from repro.evalharness import tables
+
+
+def bench_table5(benchmark, runner, save_result):
+    sfi, nosfi = benchmark.pedantic(lambda: tables.table5(runner),
+                                    rounds=1, iterations=1)
+    optimized = tables.table1(runner)
+    save_result("table5", sfi.render() + "\n\n" + nosfi.render())
+    for arch in sfi.columns:
+        assert sfi.ratios["average"][arch] >= \
+            optimized.ratios["average"][arch]

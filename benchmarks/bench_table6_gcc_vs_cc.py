@@ -1,0 +1,14 @@
+"""Table 6: native gcc vs native cc — the machine-dependent-optimization
+gap between the two compiler profiles (largest on the PPC, negligible on
+SPARC), which bounds how much of the mobile-vs-cc gap is translation's
+fault at all."""
+
+from repro.evalharness import tables
+
+
+def bench_table6(benchmark, runner, save_result):
+    table = benchmark.pedantic(lambda: tables.table6(runner),
+                               rounds=1, iterations=1)
+    save_result("table6", table.render())
+    averages = table.ratios["average"]
+    assert averages["ppc"] >= averages["sparc"]

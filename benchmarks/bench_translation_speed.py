@@ -1,0 +1,18 @@
+"""Load-time translation throughput (not a paper table, but the paper's
+design constraint: 'translation of OmniVM must be fast').  Times the
+translator proper — the operation a host performs at module load."""
+
+import pytest
+
+from repro.native.profiles import MOBILE_SFI
+from repro.translators import translate
+from repro.workloads import suite
+
+
+@pytest.mark.parametrize("arch", ["mips", "sparc", "ppc", "x86"])
+def bench_translation(benchmark, arch):
+    program = suite.build("li")
+    result = benchmark(lambda: translate(program, arch, MOBILE_SFI))
+    assert result.instrs
+    benchmark.extra_info["omni_instrs"] = len(program.instrs)
+    benchmark.extra_info["native_instrs"] = len(result.instrs)

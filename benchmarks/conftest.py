@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure from the paper.
+All experiment execution goes through the cached
+:class:`repro.evalharness.runner.Runner`, so the full harness costs one
+simulation sweep; the rendered artifacts land in ``results/``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.evalharness.runner import global_runner
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return global_runner()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}", file=sys.stderr)
+
+    return save

@@ -1,0 +1,122 @@
+"""Function shipping: an e-mail server runs an untrusted filter module.
+
+The paper's motivating example: "an e-mail client can ship a
+mail-filtering function to a server to reduce server bandwidth
+requirements."  Here the *server* is the host application; the client
+ships a MiniC module that scores each message and forwards only the
+interesting ones through the host's ``host_send`` export.
+
+Demonstrated safety properties:
+
+* the filter reads messages only through the ``host_recv`` export (host
+  pointers never enter the module's address space);
+* the host decides which API entries the module may call — a second,
+  greedy module that tries to call the graphics API is rejected;
+* the filter runs translated with SFI on the server's "processor"
+  (MIPS here), so even a buggy filter cannot corrupt the server.
+
+Run:  python examples/mail_filter.py
+"""
+
+from repro.compiler import CompileOptions, compile_to_object
+from repro.errors import HostCallError
+from repro.omnivm.linker import link
+from repro.runtime import hostapi
+from repro.runtime.host import Host
+from repro.runtime.native_loader import load_for_target
+from repro.native.profiles import MOBILE_SFI
+
+FILTER = r"""
+/* Score a message: +2 per "urgent", +1 per "omniware", -3 per "spam".
+   Forward messages scoring > 0, prefixed with the score digit. */
+
+char buf[256];
+char out[260];
+
+int match_at(char *text, int pos, int len, char *word) {
+    int i = 0;
+    while (word[i]) {
+        if (pos + i >= len) return 0;
+        int c = text[pos + i];
+        if (c >= 'A' && c <= 'Z') c = c + 32;   /* lowercase */
+        if (c != word[i]) return 0;
+        i++;
+    }
+    return 1;
+}
+
+int count_word(char *text, int len, char *word) {
+    int n = 0;
+    int pos;
+    for (pos = 0; pos < len; pos++)
+        if (match_at(text, pos, len, word)) n++;
+    return n;
+}
+
+int main() {
+    int forwarded = 0;
+    while (1) {
+        int len = host_recv(buf, 256);
+        if (len < 0) break;
+        int score = 2 * count_word(buf, len, "urgent")
+                  + count_word(buf, len, "omniware")
+                  - 3 * count_word(buf, len, "spam");
+        if (score > 0) {
+            out[0] = '0' + (score > 9 ? 9 : score);
+            out[1] = ':';
+            int i;
+            for (i = 0; i < len; i++) out[2 + i] = buf[i];
+            host_send(out, len + 2);
+            forwarded++;
+        }
+    }
+    emit_int(forwarded);
+    return 0;
+}
+"""
+
+GREEDY = r"""
+int main() {
+    gfx_draw(1, 1, 0xFF0000);   /* not exported to mail filters! */
+    return 0;
+}
+"""
+
+INBOX = [
+    b"URGENT: the omniware beta ships today",
+    b"cheap spam spam spam offer",
+    b"lunch on thursday?",
+    b"urgent urgent: rebooting the server",
+    b"omniware questions from the list",
+]
+
+
+def main() -> None:
+    print("== server loads the client's filter module ==")
+    obj = compile_to_object(FILTER, CompileOptions(module_name="filter"))
+    program = link([obj], name="mailfilter")
+
+    # The server's export policy: mail I/O yes, graphics no.
+    exports = set(hostapi.DEFAULT_EXPORTS) | {"host_send", "host_recv"}
+    host = Host(exports=exports)
+    host.inbox = list(INBOX)
+
+    module = load_for_target(program, "mips", MOBILE_SFI, host=host)
+    code = module.run()
+    print(f"   filter exit={code}, forwarded={host.output_values()[-1]}")
+    for sent in host.sent:
+        print(f"   forwarded: {sent.decode()!r}")
+
+    print("== a module asking for unexported host functions is refused ==")
+    greedy_obj = compile_to_object(GREEDY, CompileOptions(module_name="greedy"))
+    greedy = link([greedy_obj], name="greedy")
+    greedy_host = Host(exports=exports)  # same policy: no gfx
+    try:
+        load_for_target(greedy, "mips", MOBILE_SFI, host=greedy_host).run()
+        print("   unexpected: greedy module ran")
+    except HostCallError as err:
+        print(f"   rejected: {err}")
+
+
+if __name__ == "__main__":
+    main()

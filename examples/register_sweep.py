@@ -1,0 +1,32 @@
+"""Mini Table 2: how the OmniVM register file size affects performance.
+
+Recompiles one workload (`eqntott`) with the register allocator limited
+to 8/10/12/14/16 OmniVM registers, translates each build for SPARC, and
+reports cycles relative to the vendor-cc baseline — a one-workload
+version of the paper's Table 2 (the full version is
+``pytest benchmarks/bench_table2_registers.py --benchmark-only``).
+
+Run:  python examples/register_sweep.py   (~1 minute of simulation)
+"""
+
+from repro.evalharness.runner import RunKey, global_runner
+
+
+def main() -> None:
+    runner = global_runner()
+    workload = "eqntott"
+    baseline = runner.run(RunKey(workload, "sparc", "native-cc")).cycles
+    print(f"workload={workload}, target=sparc, baseline=native-cc "
+          f"({baseline} cycles)\n")
+    print(f"{'registers':>10} {'cycles':>10} {'vs native cc':>14}")
+    for size in (8, 10, 12, 14, 16):
+        result = runner.run(RunKey(workload, "sparc", "mobile-sfi", size))
+        ratio = result.cycles / baseline
+        bar = "#" * int((ratio - 0.9) * 100)
+        print(f"{size:>10} {result.cycles:>10} {ratio:>13.3f}  {bar}")
+    print("\npaper's Table 2 averages: 8->1.11  10->1.11  12->1.08  "
+          "14->1.06  16->1.05")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,209 @@
+"""Command-line toolchain: the Omniware developer tools as one binary.
+
+Usage (also via ``python -m repro``):
+
+.. code-block:: none
+
+    omnicc compile  prog.c [-o prog.oof] [-O{0,1,2}] [--lisp]
+    omnicc link     a.oof b.oof [-o prog.oom]
+    omnicc run      prog.c|prog.oom [--arch mips|sparc|ppc|x86|omnivm]
+                    [--no-sfi] [--cycles]
+    omnicc disasm   prog.oom [--function main]
+    omnicc asm      prog.s [-o prog.oof]
+    omnicc bench    [--table 1|2|3|4|5|6] [--figure 1]
+
+``compile`` produces an Omniware object file; ``link`` produces a mobile
+module; ``run`` executes on the reference VM or a translated target
+(with SFI by default, exactly as a host would); ``bench`` prints a
+reproduced table from the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.compiler import CompileOptions, compile_to_object
+from repro.errors import ReproError
+from repro.lang2.compiler import compile_minilisp
+from repro.omnivm.asmparser import assemble
+from repro.omnivm.disasm import disassemble_program
+from repro.omnivm.linker import LinkedProgram, link
+from repro.omnivm.objfile import ObjectModule
+from repro.runtime.loader import run_module
+from repro.runtime.native_loader import run_on_target
+from repro.translators import ARCHITECTURES, TranslationOptions
+
+
+def _load_objects(paths: list[str]) -> list[ObjectModule]:
+    return [ObjectModule.from_bytes(Path(p).read_bytes()) for p in paths]
+
+
+def _program_from_path(path: str, opt_level: int) -> LinkedProgram:
+    """Accept a .c/.lisp/.s source, a .oof object, or a .oom module."""
+    data = Path(path).read_bytes()
+    if path.endswith(".oom"):
+        # A linked module is shipped as its object serialization here.
+        return link([ObjectModule.from_bytes(data)], name=path)
+    if path.endswith(".oof"):
+        return link([ObjectModule.from_bytes(data)], name=path)
+    text = data.decode("utf-8")
+    if path.endswith((".lisp", ".ml2")):
+        return link([compile_minilisp(text, module_name=Path(path).stem)])
+    if path.endswith(".s"):
+        return link([assemble(text, Path(path).stem)])
+    obj = compile_to_object(text, CompileOptions(
+        opt_level=opt_level, module_name=Path(path).stem))
+    return link([obj], name=path)
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    text = Path(args.source).read_text()
+    if args.lisp or args.source.endswith((".lisp", ".ml2")):
+        obj = compile_minilisp(text, module_name=Path(args.source).stem)
+    else:
+        obj = compile_to_object(text, CompileOptions(
+            opt_level=args.opt, module_name=Path(args.source).stem))
+    out = args.output or (Path(args.source).stem + ".oof")
+    Path(out).write_bytes(obj.to_bytes())
+    print(f"{out}: {len(obj.text)} OmniVM instructions, "
+          f"{len(obj.data)} data bytes, {len(obj.symbols)} symbols")
+    return 0
+
+
+def cmd_asm(args: argparse.Namespace) -> int:
+    obj = assemble(Path(args.source).read_text(), Path(args.source).stem)
+    out = args.output or (Path(args.source).stem + ".oof")
+    Path(out).write_bytes(obj.to_bytes())
+    print(f"{out}: {len(obj.text)} instructions")
+    return 0
+
+
+def cmd_link(args: argparse.Namespace) -> int:
+    objects = _load_objects(args.objects)
+    program = link(objects, name=args.output or "a.oom",
+                   entry_symbol=args.entry)
+    # A linked module round-trips through one merged object.
+    merged = ObjectModule(program.name)
+    merged.text = program.instrs
+    merged.data = bytes(program.data_image)
+    for name, address in program.symbols.items():
+        from repro.omnivm.memory import CODE_BASE, DATA_BASE
+
+        if address >= DATA_BASE:
+            merged.define(name, "data", address - DATA_BASE)
+        else:
+            merged.define(name, "text", address - CODE_BASE)
+    out = args.output or "a.oom"
+    Path(out).write_bytes(merged.to_bytes())
+    print(f"{out}: {len(program.instrs)} instructions, "
+          f"entry {program.entry_symbol!r}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = _program_from_path(args.module, args.opt)
+    if args.arch == "omnivm":
+        code, host = run_module(program)
+        sys.stdout.write(host.output_text())
+        if args.cycles:
+            print(f"\n[omnivm] exit={code}", file=sys.stderr)
+        return code & 0xFF
+    options = TranslationOptions(sfi=not args.no_sfi)
+    code, module = run_on_target(program, args.arch, options)
+    sys.stdout.write(module.host.output_text())
+    if args.cycles:
+        machine = module.machine
+        print(f"\n[{args.arch}] exit={code} instructions={machine.instret} "
+              f"cycles={machine.cycles} sfi={'on' if options.sfi else 'off'}",
+              file=sys.stderr)
+    return code & 0xFF
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    program = _program_from_path(args.module, 2)
+    print(disassemble_program(program, args.function))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.evalharness import tables
+    from repro.evalharness.figures import figure1
+
+    if args.figure == 1:
+        print(figure1().render())
+        return 0
+    table_fn = tables.ALL_TABLES[f"table{args.table}"]
+    result = table_fn()
+    if isinstance(result, tuple):
+        for part in result:
+            print(part.render())
+            print()
+    else:
+        print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="omnicc", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile MiniC/MiniLisp to an object")
+    p.add_argument("source")
+    p.add_argument("-o", "--output")
+    p.add_argument("-O", "--opt", type=int, default=2, choices=(0, 1, 2))
+    p.add_argument("--lisp", action="store_true",
+                   help="treat the source as MiniLisp")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("asm", help="assemble OmniVM assembly to an object")
+    p.add_argument("source")
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_asm)
+
+    p = sub.add_parser("link", help="link objects into a mobile module")
+    p.add_argument("objects", nargs="+")
+    p.add_argument("-o", "--output")
+    p.add_argument("--entry", default="main")
+    p.set_defaults(fn=cmd_link)
+
+    p = sub.add_parser("run", help="run a module (interpreted or translated)")
+    p.add_argument("module", help="source file, .oof object, or .oom module")
+    p.add_argument("--arch", default="omnivm",
+                   choices=("omnivm",) + tuple(ARCHITECTURES))
+    p.add_argument("--no-sfi", action="store_true")
+    p.add_argument("--cycles", action="store_true",
+                   help="print execution statistics to stderr")
+    p.add_argument("-O", "--opt", type=int, default=2, choices=(0, 1, 2))
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("disasm", help="disassemble a module")
+    p.add_argument("module")
+    p.add_argument("--function")
+    p.set_defaults(fn=cmd_disasm)
+
+    p = sub.add_parser("bench", help="reproduce a table/figure from the paper")
+    p.add_argument("--table", type=int, choices=(1, 2, 3, 4, 5, 6))
+    p.add_argument("--figure", type=int, choices=(1,))
+    p.set_defaults(fn=cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as err:
+        print(f"omnicc: error: {err}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as err:
+        print(f"omnicc: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

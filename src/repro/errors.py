@@ -1,0 +1,144 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the compiler, assembler, linker, translators, runtime,
+and simulators derives from :class:`ReproError`, so host applications can
+catch one type at the embedding boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SourceLocation:
+    """A position in a source file (1-based line and column)."""
+
+    __slots__ = ("filename", "line", "col")
+
+    def __init__(self, filename: str = "<input>", line: int = 0, col: int = 0):
+        self.filename = filename
+        self.line = line
+        self.col = col
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.col}"
+
+    def __repr__(self) -> str:
+        return f"SourceLocation({self.filename!r}, {self.line}, {self.col})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SourceLocation):
+            return NotImplemented
+        return (self.filename, self.line, self.col) == (
+            other.filename,
+            other.line,
+            other.col,
+        )
+
+
+class CompileError(ReproError):
+    """An error detected while compiling source code.
+
+    Carries an optional :class:`SourceLocation` so front ends can report
+    precise positions.
+    """
+
+    def __init__(self, message: str, loc: SourceLocation | None = None):
+        self.loc = loc
+        if loc is not None:
+            message = f"{loc}: {message}"
+        super().__init__(message)
+
+
+class LexError(CompileError):
+    """Invalid token in source text."""
+
+
+class ParseError(CompileError):
+    """Syntactically invalid source text."""
+
+
+class TypeError_(CompileError):
+    """Semantic (type) error.  Named with a trailing underscore to avoid
+    shadowing the builtin."""
+
+
+class IRError(ReproError):
+    """Malformed IR detected by the verifier or a pass."""
+
+
+class AsmError(ReproError):
+    """Error while assembling OmniVM assembly text."""
+
+
+class EncodingError(ReproError):
+    """Error while encoding or decoding OmniVM binary instructions."""
+
+
+class ObjectFormatError(ReproError):
+    """Malformed Omniware object file."""
+
+
+class LinkError(ReproError):
+    """Unresolved or duplicate symbols, section overflow, etc."""
+
+
+class VerifyError(ReproError):
+    """A module failed load-time verification."""
+
+
+class TranslationError(ReproError):
+    """The load-time translator could not translate a module."""
+
+
+class RegAllocError(ReproError):
+    """Register allocation failed (e.g. too few registers for the ABI)."""
+
+
+class VMError(ReproError):
+    """Base class for errors during OmniVM or target simulation."""
+
+
+class AccessViolation(VMError):
+    """An unauthorized memory access.
+
+    Under the OmniVM exception model this is delivered to the module's
+    registered handler if there is one; it only escapes as a Python
+    exception when the module has no handler installed.
+    """
+
+    def __init__(self, message: str, address: int = 0, kind: str = "store"):
+        super().__init__(message)
+        self.address = address
+        self.kind = kind
+
+
+class SandboxViolation(VMError):
+    """Translated native code attempted to escape its SFI sandbox.
+
+    This indicates a translator bug: correctly sandboxed code can never
+    raise it, which is what the SFI verifier and tests assert.
+    """
+
+
+class HostCallError(VMError):
+    """A module invoked an unknown or unauthorized host API entry."""
+
+
+class VMTrap(VMError):
+    """Module executed an explicit trap/abort instruction."""
+
+    def __init__(self, message: str = "trap", code: int = 0):
+        super().__init__(message)
+        self.code = code
+
+
+class VMRuntimeError(VMError):
+    """Dynamic error during simulation (division by zero, bad opcode...)."""
+
+
+class FuelExhausted(VMError):
+    """The simulation exceeded its instruction budget (guards against
+    non-terminating modules in tests)."""

@@ -1,0 +1,196 @@
+"""Reproduction of the paper's Tables 1–6.
+
+Each ``tableN()`` function returns a :class:`TableResult` holding the
+measured ratio matrix plus the paper's published numbers for side-by-side
+comparison, and renders in the paper's layout (programs down, targets
+across, average row at the bottom).  Absolute agreement is not expected —
+the substrate is a first-order simulator, not the authors' 1995 hardware
+— but the *shapes* (who wins, by roughly what factor) are asserted by the
+test suite via :func:`repro.evalharness.shapes.check_*`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evalharness.runner import ARCHS, Runner, global_runner
+from repro.workloads.suite import WORKLOAD_NAMES
+
+#: The paper's published numbers (for the report columns).
+PAPER_TABLE1 = {  # SFI vs native cc
+    "li": {"mips": 1.10, "sparc": 1.05, "ppc": 1.18, "x86": 1.11},
+    "compress": {"mips": 1.04, "sparc": 1.02, "ppc": 1.23, "x86": 1.02},
+    "alvinn": {"mips": 1.20, "sparc": 1.07, "ppc": 1.08, "x86": 1.25},
+    "eqntott": {"mips": 1.20, "sparc": 1.04, "ppc": 1.35, "x86": 1.06},
+}
+
+PAPER_TABLE2 = {8: 1.11, 10: 1.11, 12: 1.08, 14: 1.06, 16: 1.05}
+
+PAPER_TABLE3_NOSFI = {  # no-SFI vs native cc
+    "li": {"mips": 0.91, "sparc": 1.02, "ppc": 1.08, "x86": 1.10},
+    "compress": {"mips": 0.96, "sparc": 1.01, "ppc": 1.18, "x86": 1.02},
+    "alvinn": {"mips": 1.09, "sparc": 1.03, "ppc": 0.97, "x86": 1.22},
+    "eqntott": {"mips": 1.18, "sparc": 0.99, "ppc": 1.35, "x86": 1.04},
+}
+
+PAPER_TABLE4_SFI = {  # SFI vs native gcc
+    "li": {"mips": 1.11, "sparc": 1.05, "ppc": 1.04, "x86": 1.09},
+    "compress": {"mips": 0.78, "sparc": 1.02, "ppc": 1.08, "x86": 1.01},
+    "alvinn": {"mips": 1.12, "sparc": 1.08, "ppc": 1.36, "x86": 1.09},
+    "eqntott": {"mips": 1.04, "sparc": 1.03, "ppc": 0.66, "x86": 1.05},
+}
+
+PAPER_TABLE5_SFI = {  # SFI, no translator optimizations, vs native cc
+    "li": {"mips": 1.18, "sparc": 1.11, "ppc": 1.35, "x86": 1.18},
+    "compress": {"mips": 1.04, "sparc": 1.18, "ppc": 1.28, "x86": 1.09},
+    "alvinn": {"mips": 1.37, "sparc": 1.21, "ppc": 1.32, "x86": 1.79},
+    "eqntott": {"mips": 1.08, "sparc": 1.24, "ppc": 1.35, "x86": 1.22},
+}
+
+PAPER_TABLE6 = {  # native gcc vs native cc
+    "li": {"mips": 0.98, "sparc": 1.01, "ppc": 1.14, "x86": 1.13},
+    "average": {"mips": 1.14, "sparc": 1.01, "ppc": 1.27, "x86": 1.16},
+}
+
+
+@dataclass
+class TableResult:
+    """A measured table: ratios[workload][arch] (plus 'average' row)."""
+
+    title: str
+    columns: tuple[str, ...]
+    ratios: dict[str, dict[str, float]] = field(default_factory=dict)
+    paper: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def add_average(self) -> None:
+        avg: dict[str, float] = {}
+        for col in self.columns:
+            values = [row[col] for name, row in self.ratios.items()
+                      if name != "average" and col in row]
+            avg[col] = sum(values) / len(values)
+        self.ratios["average"] = avg
+
+    def render(self) -> str:
+        lines = [self.title, ""]
+        header = f"{'program':<10}" + "".join(f"{c:>9}" for c in self.columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name, row in self.ratios.items():
+            cells = "".join(
+                f"{row[c]:>9.2f}" if c in row else f"{'-':>9}"
+                for c in self.columns
+            )
+            lines.append(f"{name:<10}{cells}")
+        if self.paper:
+            lines.append("")
+            lines.append("paper reported:")
+            for name, row in self.paper.items():
+                cells = "".join(
+                    f"{row[c]:>9.2f}" if c in row else f"{'-':>9}"
+                    for c in self.columns
+                )
+                lines.append(f"{name:<10}{cells}")
+        return "\n".join(lines)
+
+
+def _ratio_table(title: str, profile: str, baseline: str,
+                 paper: dict | None = None,
+                 runner: Runner | None = None) -> TableResult:
+    runner = runner or global_runner()
+    table = TableResult(title, ARCHS, paper=paper or {})
+    for workload in WORKLOAD_NAMES:
+        table.ratios[workload] = {
+            arch: runner.cycle_ratio(workload, arch, profile, baseline)
+            for arch in ARCHS
+        }
+    table.add_average()
+    return table
+
+
+def table1(runner: Runner | None = None) -> TableResult:
+    """Table 1: execution time of translated code with SFI, relative to
+    native code produced by the vendor cc."""
+    return _ratio_table(
+        "Table 1: mobile code with SFI, relative to native cc",
+        "mobile-sfi", "native-cc", PAPER_TABLE1, runner,
+    )
+
+
+def table2(runner: Runner | None = None) -> TableResult:
+    """Table 2: average overhead vs native SPARC cc as the OmniVM register
+    file size varies."""
+    runner = runner or global_runner()
+    sizes = (8, 10, 12, 14, 16)
+    table = TableResult(
+        "Table 2: SPARC overhead by OmniVM register file size",
+        tuple(str(s) for s in sizes),
+        paper={"average": {str(s): v for s, v in PAPER_TABLE2.items()}},
+    )
+    for workload in WORKLOAD_NAMES:
+        row = {}
+        for size in sizes:
+            row[str(size)] = runner.cycle_ratio(
+                workload, "sparc", "mobile-sfi", "native-cc",
+                num_regs=size, baseline_regs=16,
+            )
+        table.ratios[workload] = row
+    table.add_average()
+    return table
+
+
+def table3(runner: Runner | None = None) -> tuple[TableResult, TableResult]:
+    """Table 3: mobile vs native cc, with and without SFI."""
+    sfi = _ratio_table(
+        "Table 3 (SFI): mobile code vs native cc",
+        "mobile-sfi", "native-cc", PAPER_TABLE1, runner,
+    )
+    nosfi = _ratio_table(
+        "Table 3 (no SFI): mobile code vs native cc",
+        "mobile-nosfi", "native-cc", PAPER_TABLE3_NOSFI, runner,
+    )
+    return sfi, nosfi
+
+
+def table4(runner: Runner | None = None) -> tuple[TableResult, TableResult]:
+    """Table 4: mobile vs native gcc, with and without SFI."""
+    sfi = _ratio_table(
+        "Table 4 (SFI): mobile code vs native gcc",
+        "mobile-sfi", "native-gcc", PAPER_TABLE4_SFI, runner,
+    )
+    nosfi = _ratio_table(
+        "Table 4 (no SFI): mobile code vs native gcc",
+        "mobile-nosfi", "native-gcc", None, runner,
+    )
+    return sfi, nosfi
+
+
+def table5(runner: Runner | None = None) -> tuple[TableResult, TableResult]:
+    """Table 5: mobile code translated *without* translator optimizations,
+    vs native cc."""
+    sfi = _ratio_table(
+        "Table 5 (SFI): unoptimized translation vs native cc",
+        "mobile-sfi-noopt", "native-cc", PAPER_TABLE5_SFI, runner,
+    )
+    nosfi = _ratio_table(
+        "Table 5 (no SFI): unoptimized translation vs native cc",
+        "mobile-nosfi-noopt", "native-cc", None, runner,
+    )
+    return sfi, nosfi
+
+
+def table6(runner: Runner | None = None) -> TableResult:
+    """Table 6: native gcc relative to native cc."""
+    return _ratio_table(
+        "Table 6: native gcc vs native cc",
+        "native-gcc", "native-cc", PAPER_TABLE6, runner,
+    )
+
+
+ALL_TABLES = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+}

@@ -1,0 +1,259 @@
+"""Abstract syntax tree for MiniC.
+
+Nodes are plain dataclasses.  The parser builds them untyped; semantic
+analysis (:mod:`repro.frontend.sema`) decorates expression nodes with a
+``ty`` attribute and lvalue information, which the IR builder consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SourceLocation
+from repro.frontend.types import Type
+
+
+@dataclass
+class Node:
+    loc: SourceLocation
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions.  ``ty`` is filled in by sema."""
+
+    ty: Type | None = field(default=None, init=False)
+    is_lvalue: bool = field(default=False, init=False)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+    unsigned: bool = False
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float
+    is_single: bool = False  # True for `1.0f`
+
+
+@dataclass
+class CharLiteral(Expr):
+    value: int
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str
+
+
+@dataclass
+class Identifier(Expr):
+    name: str
+    # Filled by sema: the Symbol this name resolves to.
+    symbol: object | None = field(default=None, init=False)
+
+
+@dataclass
+class Unary(Expr):
+    """Prefix unary: op in {'-', '!', '~', '*', '&', '++', '--'}."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Postfix(Expr):
+    """Postfix ++ / --."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    """Binary arithmetic/comparison/logical operation."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment; ``op`` is '=' or a compound form like '+='."""
+
+    op: str
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Conditional(Expr):
+    """Ternary ?: expression."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass
+class Call(Expr):
+    func: Expr
+    args: list[Expr]
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Member(Expr):
+    """Struct member access; ``arrow`` distinguishes ``->`` from ``.``."""
+
+    base: Expr
+    name: str
+    arrow: bool
+
+
+@dataclass
+class Cast(Expr):
+    target_type: Type
+    operand: Expr
+
+
+@dataclass
+class SizeOf(Expr):
+    """sizeof(type) or sizeof expr; sema resolves to an IntLiteral-like."""
+
+    target_type: Type | None
+    operand: Expr | None
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """Local variable declaration with optional initializer."""
+
+    name: str
+    decl_type: Type
+    init: Expr | None
+    init_list: list[Expr] | None = None  # array initializer { ... }
+    symbol: object | None = field(default=None, init=False)
+
+
+@dataclass
+class DeclGroup(Stmt):
+    """Several comma-separated declarations in one statement
+    (``int a = 1, b = 2;``).  Unlike a Block, introduces no scope."""
+
+    decls: list["DeclStmt"]
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    otherwise: Stmt | None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None
+    cond: Expr | None
+    step: Expr | None
+    body: Stmt
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str
+    func_type: Type  # FunctionType
+    param_names: list[str]
+    body: Block | None  # None for prototypes / extern declarations
+    symbol: object | None = field(default=None, init=False)
+    param_symbols: list[object] = field(default_factory=list, init=False)
+
+
+@dataclass
+class GlobalVar(Node):
+    name: str
+    decl_type: Type
+    init: Expr | None
+    init_list: list[Expr] | None = None
+    init_string: str | None = None  # char arr[] = "..." initializer
+    is_extern: bool = False
+    symbol: object | None = field(default=None, init=False)
+
+
+@dataclass
+class StructDecl(Node):
+    name: str
+    # Members as (name, type) pairs; layout happens in sema/types.
+    members: list[tuple[str, Type]]
+
+
+@dataclass
+class TranslationUnit(Node):
+    """A whole source file: ordered list of top-level declarations."""
+
+    decls: list[Node] = field(default_factory=list)

@@ -1,0 +1,316 @@
+"""Lexer for MiniC, the C-subset source language used by the reproduction.
+
+MiniC plays the role of the paper's gcc/lcc front ends: a realistic,
+optimizing compiler that targets OmniVM.  The lexer produces a flat list of
+:class:`Token` objects; the parser consumes them with one-token lookahead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LexError, SourceLocation
+
+KEYWORDS = {
+    "int",
+    "uint",
+    "char",
+    "short",
+    "float",
+    "double",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "do",
+    "break",
+    "continue",
+    "return",
+    "sizeof",
+    "struct",
+    "extern",
+    "static",
+    "const",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "<<=",
+    ">>=",
+    "...",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "++",
+    "--",
+    "->",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "~",
+    "&",
+    "|",
+    "^",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+]
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "a": "\a",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of: ``"kw"``, ``"ident"``, ``"int"``, ``"float"``,
+    ``"char"``, ``"string"``, ``"op"``, ``"eof"``.  ``value`` holds the
+    decoded payload (int/float for literals, str otherwise).
+    """
+
+    kind: str
+    value: object
+    loc: SourceLocation
+
+    def is_op(self, text: str) -> bool:
+        return self.kind == "op" and self.value == text
+
+    def is_kw(self, text: str) -> bool:
+        return self.kind == "kw" and self.value == text
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.value!r}"
+
+
+class Lexer:
+    """Tokenizes MiniC source text."""
+
+    def __init__(self, source: str, filename: str = "<input>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.filename, self.line, self.col)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._loc()
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment", start)
+            elif ch == "#":
+                # Preprocessor lines are not supported; skip them so small
+                # snippets with `#include` headers still lex.
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _lex_number(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.source[start : self.pos]
+            unsigned = self._skip_int_suffix()
+            return Token("uint" if unsigned else "int", int(text, 16), loc)
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.pos]
+        if self._peek() and self._peek() in "fF":
+            self._advance()
+            return Token("float", float(text), loc)
+        if is_float:
+            return Token("float", float(text), loc)
+        unsigned = self._skip_int_suffix()
+        return Token("uint" if unsigned else "int", int(text, 10), loc)
+
+    def _skip_int_suffix(self) -> bool:
+        """Consume C integer suffixes (u/U/l/L combinations); returns True
+        if an unsigned suffix was present."""
+        unsigned = False
+        # NB: _peek() returns "" at end of input, and `"" in "uUlL"` is
+        # True — the emptiness guard is load-bearing.
+        while self._peek() and self._peek() in "uUlL":
+            if self._peek() in "uU":
+                unsigned = True
+            self._advance()
+        return unsigned
+
+    def _lex_char_escape(self, quote: str) -> str:
+        ch = self._peek()
+        if ch == "":
+            raise LexError(f"unterminated {quote} literal", self._loc())
+        if ch != "\\":
+            self._advance()
+            return ch
+        self._advance()
+        esc = self._peek()
+        if esc == "x":
+            self._advance()
+            digits = ""
+            # The emptiness guard matters: at EOF _peek() is "" and
+            # `"" in "0123..."` is True, which would loop forever.
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                digits += self._peek()
+                self._advance()
+            if not digits:
+                raise LexError("bad hex escape", self._loc())
+            return chr(int(digits, 16) & 0xFF)
+        if esc in _ESCAPES:
+            self._advance()
+            return _ESCAPES[esc]
+        raise LexError(f"unknown escape sequence \\{esc}", self._loc())
+
+    def _lex_string(self) -> Token:
+        loc = self._loc()
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise LexError("unterminated string literal", loc)
+            if ch == '"':
+                self._advance()
+                break
+            chars.append(self._lex_char_escape('"'))
+        return Token("string", "".join(chars), loc)
+
+    def _lex_char(self) -> Token:
+        loc = self._loc()
+        self._advance()  # opening quote
+        ch = self._lex_char_escape("'")
+        if self._peek() != "'":
+            raise LexError("unterminated character literal", loc)
+        self._advance()
+        return Token("char", ord(ch), loc)
+
+    def next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        if self.pos >= len(self.source):
+            return Token("eof", None, self._loc())
+        loc = self._loc()
+        ch = self._peek()
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number()
+        if ch.isalpha() or ch == "_":
+            start = self.pos
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+            text = self.source[start : self.pos]
+            if text == "unsigned":
+                # `unsigned`/`unsigned int` are accepted as aliases of uint.
+                return Token("kw", "uint", loc)
+            if text in KEYWORDS:
+                return Token("kw", text, loc)
+            return Token("ident", text, loc)
+        if ch == '"':
+            return self._lex_string()
+        if ch == "'":
+            return self._lex_char()
+        for op in OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("op", op, loc)
+        raise LexError(f"unexpected character {ch!r}", loc)
+
+    def tokenize(self) -> list[Token]:
+        """Lex the whole input, returning tokens ending with one ``eof``."""
+        tokens: list[Token] = []
+        while True:
+            token = self.next_token()
+            tokens.append(token)
+            if token.kind == "eof":
+                return tokens
+
+
+def tokenize(source: str, filename: str = "<input>") -> list[Token]:
+    """Convenience wrapper: lex *source* into a token list."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,534 @@
+"""Semantic analysis for MiniC.
+
+Resolves names, computes the type of every expression, checks assignment /
+call / operator validity, marks lvalues and address-taken locals, and
+completes struct types that the parser left as forward references.
+
+After :func:`analyze` runs, every :class:`~repro.frontend.ast.Expr` has a
+``ty`` attribute and every :class:`~repro.frontend.ast.Identifier` has a
+``symbol``; the IR builder relies on both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TypeError_
+from repro.frontend import ast
+from repro.frontend.types import (
+    CHAR,
+    DOUBLE,
+    INT,
+    UINT,
+    VOID,
+    ArrayType,
+    FunctionType,
+    PointerType,
+    StructType,
+    Type,
+    decay,
+    promote,
+    types_compatible,
+    usual_arithmetic_conversion,
+)
+from repro.runtime import hostapi
+
+_HOSTKIND_TO_TYPE = {
+    "int": INT,
+    "uint": UINT,
+    "double": DOUBLE,
+    "ptr": PointerType(VOID),
+    "void": VOID,
+}
+
+
+@dataclass
+class Symbol:
+    """A named entity: global, local, parameter, function or host builtin."""
+
+    name: str
+    ty: Type
+    kind: str  # 'global' | 'local' | 'param' | 'func' | 'host'
+    address_taken: bool = False
+    defined: bool = False
+    # Unique id for locals so shadowed names stay distinct in the IR builder.
+    uid: int = 0
+
+
+@dataclass
+class Scope:
+    parent: "Scope | None" = None
+    symbols: dict[str, Symbol] = field(default_factory=dict)
+
+    def define(self, symbol: Symbol) -> None:
+        if symbol.name in self.symbols:
+            existing = self.symbols[symbol.name]
+            # Allow re-declaration of functions/globals with identical type.
+            if existing.kind in ("func", "global") and existing.ty == symbol.ty:
+                return
+            raise TypeError_(f"redefinition of {symbol.name!r}")
+        self.symbols[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Symbol | None:
+        scope: Scope | None = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+class SemanticAnalyzer:
+    """Type checker / name resolver for one translation unit."""
+
+    def __init__(self, struct_types: dict[str, StructType] | None = None):
+        self.globals = Scope()
+        self.structs: dict[str, StructType] = dict(struct_types or {})
+        self.current_function: ast.FunctionDef | None = None
+        self.loop_depth = 0
+        self._next_uid = 1
+        self._declare_host_builtins()
+
+    # -- setup ----------------------------------------------------------------
+
+    def _declare_host_builtins(self) -> None:
+        for hf in hostapi.HOST_FUNCTIONS.values():
+            params = tuple(_HOSTKIND_TO_TYPE[p] for p in hf.params)
+            result = _HOSTKIND_TO_TYPE[hf.result]
+            sym = Symbol(hf.name, FunctionType(result, params), "host", defined=True)
+            self.globals.define(sym)
+
+    def _fresh_uid(self) -> int:
+        uid = self._next_uid
+        self._next_uid += 1
+        return uid
+
+    # -- type resolution --------------------------------------------------------
+
+    def resolve_type(self, ty: Type) -> Type:
+        """Replace forward-referenced struct types with completed layouts."""
+        if isinstance(ty, StructType):
+            completed = self.structs.get(ty.name)
+            if completed is None:
+                return ty
+            return completed
+        if isinstance(ty, PointerType):
+            return PointerType(self.resolve_type(ty.pointee))
+        if isinstance(ty, ArrayType):
+            return ArrayType(self.resolve_type(ty.element), ty.count)
+        if isinstance(ty, FunctionType):
+            return FunctionType(
+                self.resolve_type(ty.return_type),
+                tuple(self.resolve_type(p) for p in ty.params),
+                ty.variadic,
+            )
+        return ty
+
+    # -- top level ---------------------------------------------------------------
+
+    def analyze(self, unit: ast.TranslationUnit) -> ast.TranslationUnit:
+        for decl in unit.decls:
+            if isinstance(decl, ast.StructDecl):
+                pass  # layout already computed by the parser
+            elif isinstance(decl, ast.GlobalVar):
+                self._analyze_global(decl)
+            elif isinstance(decl, ast.FunctionDef):
+                self._declare_function(decl)
+        for decl in unit.decls:
+            if isinstance(decl, ast.FunctionDef) and decl.body is not None:
+                self._analyze_function(decl)
+        return unit
+
+    def _analyze_global(self, decl: ast.GlobalVar) -> None:
+        decl.decl_type = self.resolve_type(decl.decl_type)
+        if decl.decl_type.is_void():
+            raise TypeError_(f"global {decl.name!r} has void type", decl.loc)
+        symbol = Symbol(decl.name, decl.decl_type, "global", defined=not decl.is_extern)
+        self.globals.define(symbol)
+        decl.symbol = self.globals.lookup(decl.name)
+        scope = self.globals
+        if decl.init is not None:
+            self._check_expr(decl.init, scope)
+            self._check_assignable(decl.decl_type, decl.init, decl.loc)
+        if decl.init_list is not None:
+            if not isinstance(decl.decl_type, (ArrayType, StructType)):
+                raise TypeError_(
+                    f"brace initializer on non-aggregate {decl.name!r}", decl.loc
+                )
+            for item in decl.init_list:
+                self._check_expr(item, scope)
+
+    def _declare_function(self, decl: ast.FunctionDef) -> None:
+        decl.func_type = self.resolve_type(decl.func_type)
+        symbol = Symbol(decl.name, decl.func_type, "func", defined=decl.body is not None)
+        existing = self.globals.lookup(decl.name)
+        if existing is not None and existing.kind == "func":
+            if existing.ty != decl.func_type:
+                raise TypeError_(
+                    f"conflicting declaration of {decl.name!r}", decl.loc
+                )
+            if decl.body is not None:
+                existing.defined = True
+            decl.symbol = existing
+            return
+        self.globals.define(symbol)
+        decl.symbol = symbol
+
+    def _analyze_function(self, decl: ast.FunctionDef) -> None:
+        self.current_function = decl
+        func_type = decl.func_type
+        assert isinstance(func_type, FunctionType)
+        scope = Scope(self.globals)
+        decl.param_symbols = []
+        for name, ty in zip(decl.param_names, func_type.params):
+            ty = self.resolve_type(ty)
+            symbol = Symbol(name, ty, "param", defined=True, uid=self._fresh_uid())
+            scope.define(symbol)
+            decl.param_symbols.append(symbol)
+        self._check_block(decl.body, scope)
+        self.current_function = None
+
+    # -- statements ----------------------------------------------------------------
+
+    def _check_block(self, block: ast.Block, scope: Scope) -> None:
+        inner = Scope(scope)
+        for stmt in block.statements:
+            self._check_stmt(stmt, inner)
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.decls:
+                self._check_decl_stmt(decl, scope)
+        elif isinstance(stmt, ast.DeclStmt):
+            self._check_decl_stmt(stmt, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            self._check_scalar(self._check_expr(stmt.cond, scope), stmt.loc)
+            self._check_stmt(stmt.then, scope)
+            if stmt.otherwise is not None:
+                self._check_stmt(stmt.otherwise, scope)
+        elif isinstance(stmt, ast.While):
+            self._check_scalar(self._check_expr(stmt.cond, scope), stmt.loc)
+            self._in_loop(stmt.body, scope)
+        elif isinstance(stmt, ast.DoWhile):
+            self._in_loop(stmt.body, scope)
+            self._check_scalar(self._check_expr(stmt.cond, scope), stmt.loc)
+        elif isinstance(stmt, ast.For):
+            inner = Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._check_scalar(self._check_expr(stmt.cond, inner), stmt.loc)
+            if stmt.step is not None:
+                self._check_expr(stmt.step, inner)
+            self._in_loop(stmt.body, inner)
+        elif isinstance(stmt, ast.Break):
+            if self.loop_depth == 0:
+                raise TypeError_("break outside of loop", stmt.loc)
+        elif isinstance(stmt, ast.Continue):
+            if self.loop_depth == 0:
+                raise TypeError_("continue outside of loop", stmt.loc)
+        elif isinstance(stmt, ast.Return):
+            self._check_return(stmt, scope)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise TypeError_(f"unknown statement {type(stmt).__name__}", stmt.loc)
+
+    def _in_loop(self, body: ast.Stmt, scope: Scope) -> None:
+        self.loop_depth += 1
+        try:
+            self._check_stmt(body, scope)
+        finally:
+            self.loop_depth -= 1
+
+    def _check_decl_stmt(self, stmt: ast.DeclStmt, scope: Scope) -> None:
+        stmt.decl_type = self.resolve_type(stmt.decl_type)
+        if stmt.decl_type.is_void():
+            raise TypeError_(f"variable {stmt.name!r} has void type", stmt.loc)
+        symbol = Symbol(stmt.name, stmt.decl_type, "local", defined=True,
+                        uid=self._fresh_uid())
+        scope.define(symbol)
+        stmt.symbol = symbol
+        if stmt.init is not None:
+            self._check_expr(stmt.init, scope)
+            self._check_assignable(stmt.decl_type, stmt.init, stmt.loc)
+        if stmt.init_list is not None:
+            if not isinstance(stmt.decl_type, ArrayType):
+                raise TypeError_("brace initializer on non-array local", stmt.loc)
+            for item in stmt.init_list:
+                self._check_expr(item, scope)
+
+    def _check_return(self, stmt: ast.Return, scope: Scope) -> None:
+        assert self.current_function is not None
+        func_type = self.current_function.func_type
+        assert isinstance(func_type, FunctionType)
+        if stmt.value is None:
+            if not func_type.return_type.is_void():
+                raise TypeError_("non-void function must return a value", stmt.loc)
+            return
+        if func_type.return_type.is_void():
+            raise TypeError_("void function cannot return a value", stmt.loc)
+        self._check_expr(stmt.value, scope)
+        self._check_assignable(func_type.return_type, stmt.value, stmt.loc)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _check_scalar(self, ty: Type, loc) -> None:
+        if not decay(ty).is_scalar():
+            raise TypeError_(f"expected scalar condition, got {ty}", loc)
+
+    def _check_assignable(self, target: Type, value: ast.Expr, loc) -> None:
+        value_ty = decay(value.ty)
+        if types_compatible(target, value_ty):
+            return
+        # Integer literal zero converts to any pointer (NULL).
+        if target.is_pointer() and isinstance(value, ast.IntLiteral) and value.value == 0:
+            return
+        if target.is_pointer() and value_ty.is_integer():
+            # Permit int->pointer with a warning-free pass (common in the
+            # systems code these workloads model); an explicit cast is
+            # idiomatic but not required.
+            return
+        if target.is_integer() and value_ty.is_pointer():
+            return
+        raise TypeError_(f"cannot assign {value_ty} to {target}", loc)
+
+    def _require_lvalue(self, expr: ast.Expr, loc) -> None:
+        if not expr.is_lvalue:
+            raise TypeError_("expression is not assignable", loc)
+
+    def _check_expr(self, expr: ast.Expr, scope: Scope) -> Type:
+        ty = self._check_expr_inner(expr, scope)
+        expr.ty = ty
+        return ty
+
+    def _check_expr_inner(self, expr: ast.Expr, scope: Scope) -> Type:
+        if isinstance(expr, ast.IntLiteral):
+            return UINT if expr.unsigned else INT
+        if isinstance(expr, ast.CharLiteral):
+            return INT
+        if isinstance(expr, ast.FloatLiteral):
+            return DOUBLE
+        if isinstance(expr, ast.StringLiteral):
+            expr.is_lvalue = False
+            return PointerType(CHAR)
+        if isinstance(expr, ast.Identifier):
+            return self._check_identifier(expr, scope)
+        if isinstance(expr, ast.Unary):
+            return self._check_unary(expr, scope)
+        if isinstance(expr, ast.Postfix):
+            operand_ty = self._check_expr(expr.operand, scope)
+            self._require_lvalue(expr.operand, expr.loc)
+            if not decay(operand_ty).is_scalar():
+                raise TypeError_(f"cannot {expr.op} a {operand_ty}", expr.loc)
+            return decay(operand_ty)
+        if isinstance(expr, ast.Binary):
+            return self._check_binary(expr, scope)
+        if isinstance(expr, ast.Assign):
+            return self._check_assign(expr, scope)
+        if isinstance(expr, ast.Conditional):
+            return self._check_conditional(expr, scope)
+        if isinstance(expr, ast.Call):
+            return self._check_call(expr, scope)
+        if isinstance(expr, ast.Index):
+            return self._check_index(expr, scope)
+        if isinstance(expr, ast.Member):
+            return self._check_member(expr, scope)
+        if isinstance(expr, ast.Cast):
+            expr.target_type = self.resolve_type(expr.target_type)
+            self._check_expr(expr.operand, scope)
+            return expr.target_type
+        if isinstance(expr, ast.SizeOf):
+            if expr.target_type is not None:
+                expr.target_type = self.resolve_type(expr.target_type)
+            else:
+                self._check_expr(expr.operand, scope)
+            return UINT
+        raise TypeError_(f"unknown expression {type(expr).__name__}", expr.loc)
+
+    def _check_identifier(self, expr: ast.Identifier, scope: Scope) -> Type:
+        symbol = scope.lookup(expr.name)
+        if symbol is None:
+            raise TypeError_(f"use of undeclared identifier {expr.name!r}", expr.loc)
+        expr.symbol = symbol
+        if symbol.kind in ("func", "host"):
+            expr.is_lvalue = False
+            return symbol.ty
+        expr.is_lvalue = not symbol.ty.is_array()  # arrays are not assignable
+        return symbol.ty
+
+    def _check_unary(self, expr: ast.Unary, scope: Scope) -> Type:
+        if expr.op == "&":
+            operand_ty = self._check_expr(expr.operand, scope)
+            if isinstance(expr.operand, ast.Identifier):
+                symbol = expr.operand.symbol
+                if isinstance(symbol, Symbol):
+                    if symbol.kind in ("func", "host"):
+                        return PointerType(symbol.ty)
+                    symbol.address_taken = True
+            elif not expr.operand.is_lvalue:
+                raise TypeError_("cannot take address of rvalue", expr.loc)
+            if operand_ty.is_array():
+                return PointerType(operand_ty.element)  # type: ignore[union-attr]
+            return PointerType(operand_ty)
+        operand_ty = decay(self._check_expr(expr.operand, scope))
+        if expr.op == "*":
+            if not operand_ty.is_pointer():
+                raise TypeError_(f"cannot dereference {operand_ty}", expr.loc)
+            pointee = operand_ty.pointee  # type: ignore[union-attr]
+            if pointee.is_void():
+                raise TypeError_("cannot dereference void*", expr.loc)
+            expr.is_lvalue = not pointee.is_function()
+            return pointee
+        if expr.op in ("++", "--"):
+            self._require_lvalue(expr.operand, expr.loc)
+            if not operand_ty.is_scalar():
+                raise TypeError_(f"cannot {expr.op} a {operand_ty}", expr.loc)
+            return operand_ty
+        if expr.op == "-":
+            if not operand_ty.is_arithmetic():
+                raise TypeError_(f"cannot negate {operand_ty}", expr.loc)
+            return promote(operand_ty)
+        if expr.op == "~":
+            if not operand_ty.is_integer():
+                raise TypeError_(f"cannot complement {operand_ty}", expr.loc)
+            return promote(operand_ty)
+        if expr.op == "!":
+            self._check_scalar(operand_ty, expr.loc)
+            return INT
+        raise TypeError_(f"unknown unary operator {expr.op!r}", expr.loc)
+
+    def _check_binary(self, expr: ast.Binary, scope: Scope) -> Type:
+        left = decay(self._check_expr(expr.left, scope))
+        right = decay(self._check_expr(expr.right, scope))
+        op = expr.op
+        if op == ",":
+            return right
+        if op in ("&&", "||"):
+            self._check_scalar(left, expr.loc)
+            self._check_scalar(right, expr.loc)
+            return INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if left.is_pointer() and right.is_pointer():
+                return INT
+            if left.is_pointer() and right.is_integer():
+                return INT
+            if left.is_integer() and right.is_pointer():
+                return INT
+            usual_arithmetic_conversion(left, right)  # validates
+            return INT
+        if op in ("+", "-"):
+            if left.is_pointer() and right.is_integer():
+                return left
+            if op == "+" and left.is_integer() and right.is_pointer():
+                return right
+            if op == "-" and left.is_pointer() and right.is_pointer():
+                return INT  # ptrdiff
+            return usual_arithmetic_conversion(left, right)
+        if op in ("*", "/"):
+            return usual_arithmetic_conversion(left, right)
+        if op in ("%", "&", "|", "^", "<<", ">>"):
+            if not (left.is_integer() and right.is_integer()):
+                raise TypeError_(f"operator {op!r} requires integers", expr.loc)
+            if op in ("<<", ">>"):
+                return promote(left)
+            return usual_arithmetic_conversion(left, right)
+        raise TypeError_(f"unknown binary operator {op!r}", expr.loc)
+
+    def _check_assign(self, expr: ast.Assign, scope: Scope) -> Type:
+        target_ty = self._check_expr(expr.target, scope)
+        self._require_lvalue(expr.target, expr.loc)
+        self._check_expr(expr.value, scope)
+        if expr.op == "=":
+            self._check_assignable(target_ty, expr.value, expr.loc)
+        else:
+            binop = expr.op[:-1]
+            value_ty = decay(expr.value.ty)
+            if target_ty.is_pointer() and binop in ("+", "-") and value_ty.is_integer():
+                pass  # pointer += int
+            elif binop in ("%", "&", "|", "^", "<<", ">>"):
+                if not (decay(target_ty).is_integer() and value_ty.is_integer()):
+                    raise TypeError_(
+                        f"operator {expr.op!r} requires integer operands",
+                        expr.loc,
+                    )
+            elif not (decay(target_ty).is_arithmetic() and value_ty.is_arithmetic()):
+                raise TypeError_(f"invalid compound assignment {expr.op}", expr.loc)
+        return decay(target_ty)
+
+    def _check_conditional(self, expr: ast.Conditional, scope: Scope) -> Type:
+        self._check_scalar(self._check_expr(expr.cond, scope), expr.loc)
+        then_ty = decay(self._check_expr(expr.then, scope))
+        else_ty = decay(self._check_expr(expr.otherwise, scope))
+        if then_ty == else_ty:
+            return then_ty
+        if then_ty.is_arithmetic() and else_ty.is_arithmetic():
+            return usual_arithmetic_conversion(then_ty, else_ty)
+        if then_ty.is_pointer() and else_ty.is_pointer():
+            return then_ty
+        if then_ty.is_pointer() and else_ty.is_integer():
+            return then_ty
+        if then_ty.is_integer() and else_ty.is_pointer():
+            return else_ty
+        raise TypeError_(f"incompatible ?: arms {then_ty} / {else_ty}", expr.loc)
+
+    def _check_call(self, expr: ast.Call, scope: Scope) -> Type:
+        callee_ty = self._check_expr(expr.func, scope)
+        if callee_ty.is_pointer() and callee_ty.pointee.is_function():  # type: ignore[union-attr]
+            func_type = callee_ty.pointee  # type: ignore[union-attr]
+        elif callee_ty.is_function():
+            func_type = callee_ty
+        else:
+            raise TypeError_(f"called object is not a function ({callee_ty})", expr.loc)
+        assert isinstance(func_type, FunctionType)
+        if not func_type.variadic and len(expr.args) != len(func_type.params):
+            raise TypeError_(
+                f"call expects {len(func_type.params)} args, got {len(expr.args)}",
+                expr.loc,
+            )
+        if func_type.variadic and len(expr.args) < len(func_type.params):
+            raise TypeError_("too few arguments to variadic call", expr.loc)
+        for i, arg in enumerate(expr.args):
+            self._check_expr(arg, scope)
+            if i < len(func_type.params):
+                self._check_assignable(func_type.params[i], arg, expr.loc)
+        return func_type.return_type
+
+    def _check_index(self, expr: ast.Index, scope: Scope) -> Type:
+        base_ty = self._check_expr(expr.base, scope)
+        index_ty = decay(self._check_expr(expr.index, scope))
+        if not index_ty.is_integer():
+            raise TypeError_(f"array index must be integer, got {index_ty}", expr.loc)
+        base_ty = decay(base_ty)
+        if not base_ty.is_pointer():
+            raise TypeError_(f"cannot index {base_ty}", expr.loc)
+        element = base_ty.pointee  # type: ignore[union-attr]
+        expr.is_lvalue = not element.is_array()
+        return element
+
+    def _check_member(self, expr: ast.Member, scope: Scope) -> Type:
+        base_ty = self._check_expr(expr.base, scope)
+        if expr.arrow:
+            base_ty = decay(base_ty)
+            if not base_ty.is_pointer():
+                raise TypeError_(f"-> on non-pointer {base_ty}", expr.loc)
+            base_ty = base_ty.pointee  # type: ignore[union-attr]
+        struct_ty = self.resolve_type(base_ty)
+        if not isinstance(struct_ty, StructType):
+            raise TypeError_(f"member access on non-struct {base_ty}", expr.loc)
+        if not struct_ty.has_field(expr.name):
+            raise TypeError_(
+                f"struct {struct_ty.name} has no field {expr.name!r}", expr.loc
+            )
+        field_info = struct_ty.field_named(expr.name)
+        expr.is_lvalue = not field_info.type.is_array()
+        return field_info.type
+
+
+def analyze(
+    unit: ast.TranslationUnit, struct_types: dict[str, StructType] | None = None
+) -> ast.TranslationUnit:
+    """Run semantic analysis on *unit* in place and return it."""
+    return SemanticAnalyzer(struct_types).analyze(unit)

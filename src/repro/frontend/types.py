@@ -1,0 +1,265 @@
+"""MiniC type system.
+
+Types are immutable and interned where convenient.  The machine model is
+ILP32: ``int``, ``uint`` and pointers are 4 bytes; ``char`` is signed 8-bit;
+``short`` is signed 16-bit; ``float``/``double`` are IEEE 32/64-bit.
+
+Struct types carry their field layout (computed with natural alignment), so
+the front end can lower member access to explicit address arithmetic — the
+paper stresses that OmniVM leaves data layout to the compiler precisely so
+that address arithmetic is exposed to machine-independent optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TypeError_
+from repro.utils.bits import align_up
+
+
+class Type:
+    """Base class for MiniC types.
+
+    Subclasses provide ``size`` and ``align`` (bytes).  They are declared
+    here only for type checkers; concrete values live on the subclasses,
+    several of which compute them as properties.
+    """
+
+    if False:  # pragma: no cover - annotations for tooling only
+        size: int
+        align: int
+
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    def is_struct(self) -> bool:
+        return isinstance(self, StructType)
+
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    def is_function(self) -> bool:
+        return isinstance(self, FunctionType)
+
+    def is_arithmetic(self) -> bool:
+        return self.is_integer() or self.is_float()
+
+    def is_scalar(self) -> bool:
+        return self.is_arithmetic() or self.is_pointer()
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    size: int = 0
+    align: int = 1
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """Integer type: width in bytes and signedness."""
+
+    size: int
+    signed: bool
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return self.size
+
+    def __str__(self) -> str:
+        names = {(1, True): "char", (2, True): "short", (4, True): "int", (4, False): "uint"}
+        return names.get((self.size, self.signed), f"i{self.size * 8}{'s' if self.signed else 'u'}")
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    size: int  # 4 or 8
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return self.size
+
+    def __str__(self) -> str:
+        return "float" if self.size == 4 else "double"
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    pointee: Type
+    size: int = 4
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return 4
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+    count: int
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.element.size * self.count
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return self.element.align
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.count}]"
+
+
+@dataclass(frozen=True)
+class StructField:
+    name: str
+    type: Type
+    offset: int
+
+
+@dataclass(frozen=True, eq=False)
+class StructType(Type):
+    """A struct type.
+
+    Equality and hashing are **by tag name**: a forward-referenced
+    (incomplete) ``struct Node`` is the same type as the completed one,
+    which is what C's type system says and what self-referential structs
+    require.  Layout queries on an incomplete struct raise via
+    ``field_named``.
+    """
+
+    name: str
+    fields: tuple[StructField, ...] = field(default=())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StructType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.name))
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        if not self.fields:
+            return 0
+        last = self.fields[-1]
+        return align_up(last.offset + last.type.size, self.align)
+
+    @property
+    def align(self) -> int:  # type: ignore[override]
+        return max((f.type.align for f in self.fields), default=1)
+
+    def field_named(self, name: str) -> StructField:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise TypeError_(f"struct {self.name} has no field {name!r}")
+
+    def has_field(self, name: str) -> bool:
+        return any(f.name == name for f in self.fields)
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    return_type: Type
+    params: tuple[Type, ...]
+    variadic: bool = False
+    size: int = 0
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        if self.variadic:
+            params = params + ", ..." if params else "..."
+        return f"{self.return_type}({params})"
+
+
+# Singletons for the primitive types.
+VOID = VoidType()
+CHAR = IntType(1, True)
+UCHAR = IntType(1, False)
+SHORT = IntType(2, True)
+USHORT = IntType(2, False)
+INT = IntType(4, True)
+UINT = IntType(4, False)
+FLOAT = FloatType(4)
+DOUBLE = FloatType(8)
+
+
+def layout_struct(name: str, members: list[tuple[str, Type]]) -> StructType:
+    """Compute natural-alignment layout for a struct definition."""
+    fields: list[StructField] = []
+    offset = 0
+    seen: set[str] = set()
+    for member_name, member_type in members:
+        if member_name in seen:
+            raise TypeError_(f"duplicate field {member_name!r} in struct {name}")
+        if member_type.size == 0:
+            raise TypeError_(f"field {member_name!r} has incomplete type {member_type}")
+        seen.add(member_name)
+        offset = align_up(offset, member_type.align)
+        fields.append(StructField(member_name, member_type, offset))
+        offset += member_type.size
+    return StructType(name, tuple(fields))
+
+
+def decay(ty: Type) -> Type:
+    """Array-to-pointer decay (C semantics for rvalue contexts)."""
+    if isinstance(ty, ArrayType):
+        return PointerType(ty.element)
+    if isinstance(ty, FunctionType):
+        return PointerType(ty)
+    return ty
+
+
+def promote(ty: Type) -> Type:
+    """Integer promotion: char/short promote to int."""
+    if isinstance(ty, IntType) and ty.size < 4:
+        return INT
+    return ty
+
+
+def usual_arithmetic_conversion(a: Type, b: Type) -> Type:
+    """The common type of two arithmetic operands (simplified C rules)."""
+    if not (a.is_arithmetic() and b.is_arithmetic()):
+        raise TypeError_(f"cannot combine {a} and {b} arithmetically")
+    if DOUBLE in (a, b):
+        return DOUBLE
+    if FLOAT in (a, b):
+        return FLOAT
+    a, b = promote(a), promote(b)
+    assert isinstance(a, IntType) and isinstance(b, IntType)
+    if not a.signed or not b.signed:
+        return UINT
+    return INT
+
+
+def types_compatible(a: Type, b: Type) -> bool:
+    """Loose compatibility for assignment: exact match, arith-to-arith,
+    pointer/pointer with void* escape hatch, or pointer/int-literal-zero
+    (the latter is handled by the caller)."""
+    if a == b:
+        return True
+    if a.is_arithmetic() and b.is_arithmetic():
+        return True
+    if a.is_pointer() and b.is_pointer():
+        ap = a.pointee  # type: ignore[union-attr]
+        bp = b.pointee  # type: ignore[union-attr]
+        return ap == bp or ap.is_void() or bp.is_void()
+    return False

@@ -1,0 +1,939 @@
+"""Lowering from the MiniC AST to the three-address IR.
+
+Design notes:
+
+* Register values are always 32-bit (``i32``/``u32``) or float
+  (``f32``/``f64``).  Sub-word integer types exist only as *memory* types:
+  loads extend, stores truncate, and explicit casts to ``char``/``short``
+  emit ``sext8``/``zext16``-style cast instructions.
+* Scalar locals whose address is never taken live in virtual registers;
+  everything else (arrays, structs, address-taken scalars) gets a stack
+  slot and explicit address arithmetic.
+* Data layout — field offsets, array scaling — is fully lowered here, so
+  the optimizer sees plain adds/multiplies.  This mirrors the paper's
+  argument for defining data formats in the virtual machine: the compiler,
+  not the translator, owns layout and can optimize the address code.
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+
+from repro.errors import CompileError
+from repro.frontend import ast
+from repro.frontend.sema import Symbol
+from repro.frontend.types import (
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    decay,
+    usual_arithmetic_conversion,
+)
+from repro.ir.ir import (
+    BasicBlock,
+    Const,
+    Function,
+    GlobalData,
+    GlobalRef,
+    Instr,
+    Module,
+    Operand,
+    Temp,
+)
+from repro.utils.bits import s32, u32
+
+_CMP_OP = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+_BIN_OP = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+           "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr"}
+
+
+def ir_type_of(ty: Type) -> str:
+    """IR *register* type for a MiniC type (sub-word ints widen)."""
+    ty = decay(ty)
+    if isinstance(ty, IntType):
+        return "i32" if ty.signed else "u32"
+    if isinstance(ty, FloatType):
+        return "f32" if ty.size == 4 else "f64"
+    if isinstance(ty, PointerType):
+        return "u32"
+    if isinstance(ty, FunctionType):
+        return "u32"
+    raise CompileError(f"no register type for {ty}")
+
+
+def mem_type_of(ty: Type) -> str:
+    """IR *memory* type (what load/store use) for a MiniC scalar type."""
+    ty = decay(ty)
+    if isinstance(ty, IntType):
+        return {1: "i8", 2: "i16", 4: "i32"}[ty.size] if ty.signed else \
+            {1: "u8", 2: "u16", 4: "u32"}[ty.size]
+    if isinstance(ty, FloatType):
+        return "f32" if ty.size == 4 else "f64"
+    if isinstance(ty, (PointerType, FunctionType)):
+        return "u32"
+    raise CompileError(f"no memory type for {ty}")
+
+
+class IRBuilder:
+    """Builds one IR :class:`Module` from one analyzed translation unit."""
+
+    def __init__(self, module_name: str = "module",
+                 structs: dict[str, StructType] | None = None):
+        self.structs: dict[str, StructType] = structs or {}
+        self.module = Module(module_name)
+        self.func: Function | None = None
+        self.block: BasicBlock | None = None
+        self._label_counter = 0
+        self._string_counter = 0
+        self._string_pool: dict[str, str] = {}
+        # Symbol -> Temp (register locals) or ("slot", index).
+        self.symbol_homes: dict[int, object] = {}
+        self._loop_stack: list[tuple[str, str]] = []  # (continue, break)
+
+    # -- low-level emission helpers ------------------------------------------
+
+    def new_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f".L{self._label_counter}_{hint}"
+
+    def start_block(self, label: str) -> BasicBlock:
+        assert self.func is not None
+        block = BasicBlock(label)
+        self.func.blocks.append(block)
+        self.block = block
+        return block
+
+    def emit(self, instr: Instr) -> Instr:
+        assert self.block is not None, "emission outside a block"
+        if self.block.terminator is not None:
+            # Unreachable code (e.g. statements after return): emit into a
+            # fresh dead block that unreachable-code removal deletes.
+            self.start_block(self.new_label("dead"))
+        if instr.is_terminator():
+            self.block.terminator = instr
+        else:
+            self.block.instrs.append(instr)
+        return instr
+
+    def temp(self, ty: str) -> Temp:
+        assert self.func is not None
+        return self.func.new_temp(ty)
+
+    def emit_bin(self, subop: str, a: Operand, b: Operand, ty: str) -> Temp:
+        dest = self.temp(ty)
+        self.emit(Instr("bin", dest, [a, b], subop=subop))
+        return dest
+
+    def emit_copy(self, dest: Temp, src: Operand) -> None:
+        self.emit(Instr("copy", dest, [src]))
+
+    def emit_jump(self, target: str) -> None:
+        self.emit(Instr("jump", targets=[target]))
+
+    def emit_branch(self, pred: str, a: Operand, b: Operand, cmp_ty: str,
+                    if_true: str, if_false: str) -> None:
+        self.emit(Instr("br", args=[a, b], subop=pred, cmp_ty=cmp_ty,
+                        targets=[if_true, if_false]))
+
+    # -- conversions ------------------------------------------------------------
+
+    def convert(self, value: Operand, to_ty: str) -> Operand:
+        """Convert a register value between IR register types."""
+        from_ty = value.ty
+        if from_ty == to_ty:
+            return value
+        if isinstance(value, Const):
+            return self._convert_const(value, to_ty)
+        int_kinds = ("i32", "u32")
+        if from_ty in int_kinds and to_ty in int_kinds:
+            # Same bits, different signedness: re-type without code.
+            dest = self.temp(to_ty)
+            self.emit(Instr("cast", dest, [value], subop="bitcast"))
+            return dest
+        dest = self.temp(to_ty)
+        if from_ty in int_kinds and to_ty in ("f32", "f64"):
+            subop = "i2f" if from_ty == "i32" else "u2f"
+        elif from_ty in ("f32", "f64") and to_ty in int_kinds:
+            subop = "f2i"
+        elif from_ty == "f32" and to_ty == "f64":
+            subop = "fext"
+        elif from_ty == "f64" and to_ty == "f32":
+            subop = "ftrunc"
+        else:
+            raise CompileError(f"cannot convert {from_ty} to {to_ty}")
+        self.emit(Instr("cast", dest, [value], subop=subop))
+        return dest
+
+    def _convert_const(self, value: Const, to_ty: str) -> Const:
+        if to_ty in ("i32", "u32"):
+            if value.ty in ("f32", "f64"):
+                as_int = int(value.value)
+            else:
+                as_int = int(value.value)
+            as_int = s32(as_int) if to_ty == "i32" else u32(as_int)
+            return Const(as_int, to_ty)
+        if to_ty == "f32":
+            packed = _struct.unpack("<f", _struct.pack("<f", float(value.value)))[0]
+            return Const(packed, "f32")
+        return Const(float(value.value), "f64")
+
+    def narrow_cast(self, value: Operand, target: IntType) -> Operand:
+        """Explicit cast to a sub-word integer type (C truncation)."""
+        if target.size == 4:
+            return self.convert(value, "i32" if target.signed else "u32")
+        value = self.convert(value, "i32" if target.signed else "u32")
+        subop = f"{'sext' if target.signed else 'zext'}{target.size * 8}"
+        dest = self.temp("i32" if target.signed else "u32")
+        self.emit(Instr("cast", dest, [value], subop=subop))
+        return dest
+
+    # -- module level ------------------------------------------------------------
+
+    def build(self, unit: ast.TranslationUnit) -> Module:
+        for decl in unit.decls:
+            if isinstance(decl, ast.GlobalVar) and not decl.is_extern:
+                self._build_global(decl)
+        for decl in unit.decls:
+            if isinstance(decl, ast.FunctionDef) and decl.body is not None:
+                self._build_function(decl)
+        return self.module
+
+    def _build_global(self, decl: ast.GlobalVar) -> None:
+        ty = decl.decl_type
+        size = max(ty.size, 1)
+        align = max(ty.align, 1)
+        image = bytearray()
+        relocs: list[tuple[int, str]] = []
+        if decl.init_string is not None:
+            data = decl.init_string.encode("latin-1") + b"\x00"
+            image.extend(data[:size])
+        elif decl.init_list is not None:
+            assert isinstance(ty, ArrayType)
+            element = ty.element
+            for index, item in enumerate(decl.init_list):
+                offset = index * element.size
+                encoded, reloc = _encode_scalar_init(item, element)
+                while len(image) < offset:
+                    image.append(0)
+                image.extend(encoded)
+                if reloc is not None:
+                    relocs.append((offset, reloc))
+        elif decl.init is not None:
+            encoded, reloc = _encode_scalar_init(decl.init, ty)
+            image.extend(encoded)
+            if reloc is not None:
+                relocs.append((0, reloc))
+        self.module.globals.append(
+            GlobalData(decl.name, size, align, bytes(image), relocs)
+        )
+
+    def intern_string(self, text: str) -> GlobalRef:
+        if text in self._string_pool:
+            return GlobalRef(self._string_pool[text])
+        name = f".str{self._string_counter}"
+        self._string_counter += 1
+        self._string_pool[text] = name
+        data = text.encode("latin-1") + b"\x00"
+        self.module.globals.append(
+            GlobalData(name, len(data), 1, data, readonly=True)
+        )
+        return GlobalRef(name)
+
+    # -- functions -----------------------------------------------------------------
+
+    def _build_function(self, decl: ast.FunctionDef) -> None:
+        func_type = decl.func_type
+        assert isinstance(func_type, FunctionType)
+        func = Function(decl.name, return_ty=(
+            "void" if func_type.return_type.is_void()
+            else ir_type_of(func_type.return_type)
+        ))
+        self.func = func
+        self.module.functions.append(func)
+        self.start_block("entry")
+        for symbol, param_ty in zip(decl.param_symbols, func_type.params):
+            assert isinstance(symbol, Symbol)
+            temp = func.new_temp(ir_type_of(param_ty))
+            func.params.append(temp)
+            if symbol.address_taken:
+                slot = func.add_slot(symbol.name, 4, 4)
+                self.symbol_homes[id(symbol)] = ("slot", slot, param_ty)
+                addr = self.temp("u32")
+                self.emit(Instr("frameaddr", addr, slot=slot))
+                self.emit(Instr("store", args=[addr, temp],
+                                mem_ty=mem_type_of(param_ty)))
+            else:
+                self.symbol_homes[id(symbol)] = temp
+        self._build_block(decl.body)
+        # Fall off the end: implicit return.
+        if self.block is not None and self.block.terminator is None:
+            if func.return_ty == "void":
+                self.emit(Instr("ret"))
+            else:
+                zero = Const(0.0 if func.return_ty in ("f32", "f64") else 0,
+                             func.return_ty)
+                self.emit(Instr("ret", args=[zero]))
+        self.func = None
+        self.block = None
+
+    # -- statements -------------------------------------------------------------------
+
+    def _build_block(self, block: ast.Block) -> None:
+        for stmt in block.statements:
+            self._build_stmt(stmt)
+
+    def _build_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._build_block(stmt)
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.decls:
+                self._build_decl(decl)
+        elif isinstance(stmt, ast.DeclStmt):
+            self._build_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._build_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._build_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._build_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._build_for(stmt)
+        elif isinstance(stmt, ast.Break):
+            self.emit_jump(self._loop_stack[-1][1])
+        elif isinstance(stmt, ast.Continue):
+            self.emit_jump(self._loop_stack[-1][0])
+        elif isinstance(stmt, ast.Return):
+            self._build_return(stmt)
+        else:  # pragma: no cover
+            raise CompileError(f"cannot lower {type(stmt).__name__}", stmt.loc)
+
+    def _build_decl(self, stmt: ast.DeclStmt) -> None:
+        symbol = stmt.symbol
+        assert isinstance(symbol, Symbol)
+        ty = stmt.decl_type
+        needs_slot = symbol.address_taken or ty.is_array() or ty.is_struct()
+        if needs_slot:
+            slot = self.func.add_slot(symbol.name, max(ty.size, 1), max(ty.align, 4))
+            self.symbol_homes[id(symbol)] = ("slot", slot, ty)
+            if stmt.init is not None:
+                addr = self.temp("u32")
+                self.emit(Instr("frameaddr", addr, slot=slot))
+                value = self.lower_expr(stmt.init)
+                value = self._coerce_for_store(value, ty)
+                self.emit(Instr("store", args=[addr, value],
+                                mem_ty=mem_type_of(ty)))
+            elif stmt.init_list is not None:
+                assert isinstance(ty, ArrayType)
+                base = self.temp("u32")
+                self.emit(Instr("frameaddr", base, slot=slot))
+                element = ty.element
+                for index, item in enumerate(stmt.init_list):
+                    value = self.lower_expr(item)
+                    value = self._coerce_for_store(value, element)
+                    addr = self.emit_bin(
+                        "add", base, Const(index * element.size, "u32"), "u32"
+                    )
+                    self.emit(Instr("store", args=[addr, value],
+                                    mem_ty=mem_type_of(element)))
+        else:
+            temp = self.temp(ir_type_of(ty))
+            self.symbol_homes[id(symbol)] = temp
+            if stmt.init is not None:
+                value = self.lower_expr(stmt.init)
+                value = self._coerce_for_store(value, ty)
+                self.emit_copy(temp, value)
+            else:
+                zero = Const(0.0 if temp.ty in ("f32", "f64") else 0, temp.ty)
+                self.emit_copy(temp, zero)
+
+    def _build_if(self, stmt: ast.If) -> None:
+        then_label = self.new_label("then")
+        end_label = self.new_label("endif")
+        else_label = self.new_label("else") if stmt.otherwise else end_label
+        self.lower_condition(stmt.cond, then_label, else_label)
+        self.start_block(then_label)
+        self._build_stmt(stmt.then)
+        if self.block.terminator is None:
+            self.emit_jump(end_label)
+        if stmt.otherwise is not None:
+            self.start_block(else_label)
+            self._build_stmt(stmt.otherwise)
+            if self.block.terminator is None:
+                self.emit_jump(end_label)
+        self.start_block(end_label)
+
+    def _build_while(self, stmt: ast.While) -> None:
+        head = self.new_label("while")
+        body = self.new_label("body")
+        end = self.new_label("endwhile")
+        self.emit_jump(head)
+        self.start_block(head)
+        self.lower_condition(stmt.cond, body, end)
+        self.start_block(body)
+        self._loop_stack.append((head, end))
+        self._build_stmt(stmt.body)
+        self._loop_stack.pop()
+        if self.block.terminator is None:
+            self.emit_jump(head)
+        self.start_block(end)
+
+    def _build_do_while(self, stmt: ast.DoWhile) -> None:
+        body = self.new_label("dobody")
+        cond = self.new_label("docond")
+        end = self.new_label("enddo")
+        self.emit_jump(body)
+        self.start_block(body)
+        self._loop_stack.append((cond, end))
+        self._build_stmt(stmt.body)
+        self._loop_stack.pop()
+        if self.block.terminator is None:
+            self.emit_jump(cond)
+        self.start_block(cond)
+        self.lower_condition(stmt.cond, body, end)
+        self.start_block(end)
+
+    def _build_for(self, stmt: ast.For) -> None:
+        head = self.new_label("for")
+        body = self.new_label("forbody")
+        step = self.new_label("forstep")
+        end = self.new_label("endfor")
+        if stmt.init is not None:
+            self._build_stmt(stmt.init)
+        self.emit_jump(head)
+        self.start_block(head)
+        if stmt.cond is not None:
+            self.lower_condition(stmt.cond, body, end)
+        else:
+            self.emit_jump(body)
+        self.start_block(body)
+        self._loop_stack.append((step, end))
+        self._build_stmt(stmt.body)
+        self._loop_stack.pop()
+        if self.block.terminator is None:
+            self.emit_jump(step)
+        self.start_block(step)
+        if stmt.step is not None:
+            self.lower_expr(stmt.step)
+        self.emit_jump(head)
+        self.start_block(end)
+
+    def _build_return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            self.emit(Instr("ret"))
+            return
+        value = self.lower_expr(stmt.value)
+        value = self.convert(value, self.func.return_ty)
+        self.emit(Instr("ret", args=[value]))
+
+    # -- conditions (short-circuit) -------------------------------------------------
+
+    def lower_condition(self, expr: ast.Expr, if_true: str, if_false: str) -> None:
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            mid = self.new_label("and")
+            self.lower_condition(expr.left, mid, if_false)
+            self.start_block(mid)
+            self.lower_condition(expr.right, if_true, if_false)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            mid = self.new_label("or")
+            self.lower_condition(expr.left, if_true, mid)
+            self.start_block(mid)
+            self.lower_condition(expr.right, if_true, if_false)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self.lower_condition(expr.operand, if_false, if_true)
+            return
+        if isinstance(expr, ast.Binary) and expr.op in _CMP_OP:
+            left_ty = decay(expr.left.ty)
+            right_ty = decay(expr.right.ty)
+            cmp_ty = self._comparison_type(left_ty, right_ty)
+            a = self.convert(self.lower_expr(expr.left), cmp_ty)
+            b = self.convert(self.lower_expr(expr.right), cmp_ty)
+            self.emit_branch(_CMP_OP[expr.op], a, b, cmp_ty, if_true, if_false)
+            return
+        value = self.lower_expr(expr)
+        zero = Const(0.0 if value.ty in ("f32", "f64") else 0, value.ty)
+        self.emit_branch("ne", value, zero, value.ty, if_true, if_false)
+
+    def _comparison_type(self, left: Type, right: Type) -> str:
+        if left.is_pointer() or right.is_pointer():
+            return "u32"
+        common = usual_arithmetic_conversion(left, right)
+        return ir_type_of(common)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def lower_expr(self, expr: ast.Expr) -> Operand:
+        if isinstance(expr, ast.IntLiteral):
+            if expr.unsigned:
+                return Const(u32(expr.value), "u32")
+            return Const(s32(expr.value), "i32")
+        if isinstance(expr, ast.CharLiteral):
+            return Const(expr.value, "i32")
+        if isinstance(expr, ast.FloatLiteral):
+            return Const(expr.value, "f64")
+        if isinstance(expr, ast.StringLiteral):
+            return self.intern_string(expr.value)
+        if isinstance(expr, ast.Identifier):
+            return self._lower_identifier(expr)
+        if isinstance(expr, ast.Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.Postfix):
+            return self._lower_incdec(expr.operand, expr.op, prefix=False)
+        if isinstance(expr, ast.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._lower_assign(expr)
+        if isinstance(expr, ast.Conditional):
+            return self._lower_conditional(expr)
+        if isinstance(expr, ast.Call):
+            return self._lower_call(expr)
+        if isinstance(expr, ast.Index):
+            return self._load_lvalue(expr)
+        if isinstance(expr, ast.Member):
+            return self._load_lvalue(expr)
+        if isinstance(expr, ast.Cast):
+            return self._lower_cast(expr)
+        if isinstance(expr, ast.SizeOf):
+            ty = expr.target_type if expr.target_type is not None else expr.operand.ty
+            return Const(ty.size, "u32")
+        raise CompileError(f"cannot lower {type(expr).__name__}", expr.loc)
+
+    def _home_of(self, symbol: Symbol):
+        return self.symbol_homes.get(id(symbol))
+
+    def _resolve(self, ty: Type) -> Type:
+        """Replace a forward-referenced (incomplete) struct type with its
+        completed layout; recurses through pointers and arrays."""
+        if isinstance(ty, StructType):
+            return self.structs.get(ty.name, ty)
+        if isinstance(ty, PointerType):
+            return PointerType(self._resolve(ty.pointee))
+        if isinstance(ty, ArrayType):
+            return ArrayType(self._resolve(ty.element), ty.count)
+        return ty
+
+    def _lower_identifier(self, expr: ast.Identifier) -> Operand:
+        symbol = expr.symbol
+        assert isinstance(symbol, Symbol)
+        if symbol.kind in ("func", "host"):
+            return GlobalRef(symbol.name)
+        if symbol.kind == "global":
+            if symbol.ty.is_array() or symbol.ty.is_struct():
+                return GlobalRef(symbol.name)
+            dest = self.temp(ir_type_of(symbol.ty))
+            self.emit(Instr("load", dest, [GlobalRef(symbol.name)],
+                            mem_ty=mem_type_of(symbol.ty)))
+            return dest
+        home = self._home_of(symbol)
+        if isinstance(home, Temp):
+            return home
+        assert home is not None, f"no home for {symbol.name}"
+        _, slot, ty = home
+        addr = self.temp("u32")
+        self.emit(Instr("frameaddr", addr, slot=slot))
+        if ty.is_array() or ty.is_struct():
+            return addr
+        dest = self.temp(ir_type_of(ty))
+        self.emit(Instr("load", dest, [addr], mem_ty=mem_type_of(ty)))
+        return dest
+
+    # -- lvalues ------------------------------------------------------------------
+
+    def lower_address(self, expr: ast.Expr) -> tuple[Operand, Type]:
+        """Compute the address of an lvalue; returns (address, object type)."""
+        if isinstance(expr, ast.Identifier):
+            symbol = expr.symbol
+            assert isinstance(symbol, Symbol)
+            if symbol.kind == "global":
+                return GlobalRef(symbol.name), symbol.ty
+            if symbol.kind in ("func", "host"):
+                return GlobalRef(symbol.name), symbol.ty
+            home = self._home_of(symbol)
+            if isinstance(home, Temp):
+                raise CompileError(
+                    f"internal: register local {symbol.name!r} has no address",
+                    expr.loc,
+                )
+            _, slot, ty = home
+            addr = self.temp("u32")
+            self.emit(Instr("frameaddr", addr, slot=slot))
+            return addr, ty
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            pointer = self.lower_expr(expr.operand)
+            pointee = decay(expr.operand.ty).pointee  # type: ignore[union-attr]
+            return pointer, pointee
+        if isinstance(expr, ast.Index):
+            base_ty = decay(expr.base.ty)
+            assert isinstance(base_ty, PointerType)
+            element = self._resolve(base_ty.pointee)
+            base = self.lower_expr(expr.base)
+            index = self.convert(self.lower_expr(expr.index), "i32")
+            scaled = self._scale(index, element.size)
+            addr = self.emit_bin("add", self.convert(base, "u32"),
+                                 self.convert(scaled, "u32"), "u32")
+            return addr, element
+        if isinstance(expr, ast.Member):
+            if expr.arrow:
+                base = self.lower_expr(expr.base)
+                struct_ty = decay(expr.base.ty).pointee  # type: ignore[union-attr]
+            else:
+                base, struct_ty = self.lower_address(expr.base)
+            struct_ty = self._resolve(struct_ty)
+            assert isinstance(struct_ty, StructType)
+            field = struct_ty.field_named(expr.name)
+            if field.offset == 0:
+                return self.convert(base, "u32"), field.type
+            addr = self.emit_bin("add", self.convert(base, "u32"),
+                                 Const(field.offset, "u32"), "u32")
+            return addr, field.type
+        raise CompileError(
+            f"expression is not an lvalue: {type(expr).__name__}", expr.loc
+        )
+
+    def _scale(self, index: Operand, size: int) -> Operand:
+        if size == 1:
+            return index
+        if isinstance(index, Const):
+            return Const(s32(int(index.value) * size), index.ty)
+        return self.emit_bin("mul", index, Const(size, index.ty), index.ty)
+
+    def _load_lvalue(self, expr: ast.Expr) -> Operand:
+        addr, ty = self.lower_address(expr)
+        if ty.is_array() or ty.is_struct():
+            return self.convert(addr, "u32")  # decay to address
+        dest = self.temp(ir_type_of(ty))
+        self.emit(Instr("load", dest, [self.convert(addr, "u32")],
+                        mem_ty=mem_type_of(ty)))
+        return dest
+
+    def _coerce_for_store(self, value: Operand, target: Type) -> Operand:
+        target = decay(target)
+        return self.convert(value, ir_type_of(target))
+
+    # -- operators -----------------------------------------------------------------
+
+    def _lower_unary(self, expr: ast.Unary) -> Operand:
+        if expr.op == "&":
+            if isinstance(expr.operand, ast.Identifier):
+                symbol = expr.operand.symbol
+                assert isinstance(symbol, Symbol)
+                if symbol.kind in ("func", "host"):
+                    return GlobalRef(symbol.name)
+            addr, _ = self.lower_address(expr.operand)
+            return self.convert(addr, "u32")
+        if expr.op == "*":
+            return self._load_lvalue(expr)
+        if expr.op in ("++", "--"):
+            return self._lower_incdec(expr.operand, expr.op, prefix=True)
+        operand = self.lower_expr(expr.operand)
+        if expr.op == "-":
+            ty = operand.ty
+            zero = Const(0.0 if ty in ("f32", "f64") else 0, ty)
+            return self.emit_bin("sub", zero, operand, ty)
+        if expr.op == "~":
+            value = self.convert(operand, ir_type_of(decay(expr.operand.ty)))
+            return self.emit_bin("xor", value, Const(-1, value.ty), value.ty)
+        if expr.op == "!":
+            dest = self.temp("i32")
+            zero = Const(0.0 if operand.ty in ("f32", "f64") else 0, operand.ty)
+            self.emit(Instr("cmp", dest, [operand, zero], subop="eq",
+                            cmp_ty=operand.ty))
+            return dest
+        raise CompileError(f"cannot lower unary {expr.op!r}", expr.loc)
+
+    def _lower_incdec(self, target: ast.Expr, op: str, prefix: bool) -> Operand:
+        delta_op = "add" if op == "++" else "sub"
+        target_ty = decay(target.ty)
+        step = (self._resolve(target_ty.pointee).size
+                if target_ty.is_pointer() else 1)  # type: ignore[union-attr]
+        if isinstance(target, ast.Identifier) and isinstance(
+            self._home_of(target.symbol), Temp
+        ):
+            home = self._home_of(target.symbol)
+            old = home
+            if not prefix:
+                old = self.temp(home.ty)
+                self.emit_copy(old, home)
+            if home.ty in ("f32", "f64"):
+                delta = Const(float(step), home.ty)
+            else:
+                delta = Const(step, home.ty)
+            new = self.emit_bin(delta_op, home, delta, home.ty)
+            self.emit_copy(home, new)
+            return home if prefix else old
+        addr, obj_ty = self.lower_address(target)
+        addr = self.convert(addr, "u32")
+        reg_ty = ir_type_of(obj_ty)
+        old = self.temp(reg_ty)
+        self.emit(Instr("load", old, [addr], mem_ty=mem_type_of(obj_ty)))
+        delta = Const(float(step) if reg_ty in ("f32", "f64") else step, reg_ty)
+        new = self.emit_bin(delta_op, old, delta, reg_ty)
+        self.emit(Instr("store", args=[addr, new], mem_ty=mem_type_of(obj_ty)))
+        return new if prefix else old
+
+    def _lower_binary(self, expr: ast.Binary) -> Operand:
+        op = expr.op
+        if op == ",":
+            self.lower_expr(expr.left)
+            return self.lower_expr(expr.right)
+        if op in ("&&", "||"):
+            return self._lower_logical(expr)
+        if op in _CMP_OP:
+            left_ty = decay(expr.left.ty)
+            right_ty = decay(expr.right.ty)
+            cmp_ty = self._comparison_type(left_ty, right_ty)
+            a = self.convert(self.lower_expr(expr.left), cmp_ty)
+            b = self.convert(self.lower_expr(expr.right), cmp_ty)
+            dest = self.temp("i32")
+            self.emit(Instr("cmp", dest, [a, b], subop=_CMP_OP[op], cmp_ty=cmp_ty))
+            return dest
+        left_ty = decay(expr.left.ty)
+        right_ty = decay(expr.right.ty)
+        # Pointer arithmetic.
+        if op in ("+", "-") and left_ty.is_pointer() and right_ty.is_integer():
+            base = self.convert(self.lower_expr(expr.left), "u32")
+            index = self.convert(self.lower_expr(expr.right), "i32")
+            scaled = self.convert(
+                self._scale(index, self._resolve(left_ty.pointee).size), "u32")
+            return self.emit_bin(_BIN_OP[op], base, scaled, "u32")
+        if op == "+" and right_ty.is_pointer() and left_ty.is_integer():
+            base = self.convert(self.lower_expr(expr.right), "u32")
+            index = self.convert(self.lower_expr(expr.left), "i32")
+            scaled = self.convert(
+                self._scale(index, self._resolve(right_ty.pointee).size), "u32")
+            return self.emit_bin("add", base, scaled, "u32")
+        if op == "-" and left_ty.is_pointer() and right_ty.is_pointer():
+            a = self.convert(self.lower_expr(expr.left), "u32")
+            b = self.convert(self.lower_expr(expr.right), "u32")
+            diff = self.emit_bin("sub", a, b, "u32")
+            size = self._resolve(left_ty.pointee).size
+            diff = self.convert(diff, "i32")
+            if size == 1:
+                return diff
+            return self.emit_bin("div", diff, Const(size, "i32"), "i32")
+        if op in ("<<", ">>"):
+            value = self.convert(self.lower_expr(expr.left),
+                                 ir_type_of(left_ty))
+            amount = self.convert(self.lower_expr(expr.right), "i32")
+            subop = "shl" if op == "<<" else "shr"
+            return self.emit_bin(subop, value, amount, value.ty)
+        common = ir_type_of(usual_arithmetic_conversion(left_ty, right_ty))
+        a = self.convert(self.lower_expr(expr.left), common)
+        b = self.convert(self.lower_expr(expr.right), common)
+        return self.emit_bin(_BIN_OP[op], a, b, common)
+
+    def _lower_logical(self, expr: ast.Binary) -> Operand:
+        result = self.temp("i32")
+        true_label = self.new_label("ltrue")
+        false_label = self.new_label("lfalse")
+        end_label = self.new_label("lend")
+        self.lower_condition(expr, true_label, false_label)
+        self.start_block(true_label)
+        self.emit_copy(result, Const(1, "i32"))
+        self.emit_jump(end_label)
+        self.start_block(false_label)
+        self.emit_copy(result, Const(0, "i32"))
+        self.emit_jump(end_label)
+        self.start_block(end_label)
+        return result
+
+    def _lower_assign(self, expr: ast.Assign) -> Operand:
+        target = expr.target
+        target_ty = decay(target.ty)
+        # Register-resident scalar local.
+        if isinstance(target, ast.Identifier) and isinstance(
+            self._home_of(target.symbol), Temp
+        ):
+            home = self._home_of(target.symbol)
+            if expr.op == "=":
+                value = self._coerce_for_store(self.lower_expr(expr.value), target.ty)
+                self.emit_copy(home, value)
+                return home
+            new = self._compound_value(expr, home, target_ty)
+            self.emit_copy(home, new)
+            return home
+        addr, obj_ty = self.lower_address(target)
+        addr = self.convert(addr, "u32")
+        if expr.op == "=":
+            value = self._coerce_for_store(self.lower_expr(expr.value), obj_ty)
+            self.emit(Instr("store", args=[addr, value], mem_ty=mem_type_of(obj_ty)))
+            return value
+        old = self.temp(ir_type_of(obj_ty))
+        self.emit(Instr("load", old, [addr], mem_ty=mem_type_of(obj_ty)))
+        new = self._compound_value(expr, old, target_ty)
+        new = self._coerce_for_store(new, obj_ty)
+        self.emit(Instr("store", args=[addr, new], mem_ty=mem_type_of(obj_ty)))
+        return new
+
+    def _compound_value(self, expr: ast.Assign, old: Operand, target_ty: Type) -> Operand:
+        binop = expr.op[:-1]
+        value_ty = decay(expr.value.ty)
+        if target_ty.is_pointer() and binop in ("+", "-"):
+            index = self.convert(self.lower_expr(expr.value), "i32")
+            scaled = self.convert(
+                self._scale(index, self._resolve(target_ty.pointee).size),
+                "u32",  # type: ignore[union-attr]
+            )
+            return self.emit_bin(_BIN_OP[binop], self.convert(old, "u32"),
+                                 scaled, "u32")
+        if binop in ("<<", ">>"):
+            amount = self.convert(self.lower_expr(expr.value), "i32")
+            ty = ir_type_of(target_ty)
+            return self.emit_bin("shl" if binop == "<<" else "shr",
+                                 self.convert(old, ty), amount, ty)
+        common = ir_type_of(usual_arithmetic_conversion(target_ty, value_ty)) \
+            if value_ty.is_arithmetic() and target_ty.is_arithmetic() \
+            else ir_type_of(target_ty)
+        a = self.convert(old, common)
+        b = self.convert(self.lower_expr(expr.value), common)
+        result = self.emit_bin(_BIN_OP[binop], a, b, common)
+        return self.convert(result, ir_type_of(target_ty))
+
+    def _lower_conditional(self, expr: ast.Conditional) -> Operand:
+        result_ty = ir_type_of(decay(expr.ty))
+        result = self.temp(result_ty)
+        then_label = self.new_label("cthen")
+        else_label = self.new_label("celse")
+        end_label = self.new_label("cend")
+        self.lower_condition(expr.cond, then_label, else_label)
+        self.start_block(then_label)
+        self.emit_copy(result, self.convert(self.lower_expr(expr.then), result_ty))
+        self.emit_jump(end_label)
+        self.start_block(else_label)
+        self.emit_copy(result,
+                       self.convert(self.lower_expr(expr.otherwise), result_ty))
+        self.emit_jump(end_label)
+        self.start_block(end_label)
+        return result
+
+    def _lower_call(self, expr: ast.Call) -> Operand:
+        func_expr = expr.func
+        # Unwrap explicit deref of function pointers: (*fp)(...)
+        while isinstance(func_expr, ast.Unary) and func_expr.op == "*":
+            func_expr = func_expr.operand
+        callee_ty = decay(func_expr.ty)
+        if callee_ty.is_pointer() and callee_ty.pointee.is_function():  # type: ignore[union-attr]
+            func_type = callee_ty.pointee  # type: ignore[union-attr]
+        else:
+            func_type = func_expr.ty
+        assert isinstance(func_type, FunctionType)
+        args: list[Operand] = []
+        for i, arg in enumerate(expr.args):
+            value = self.lower_expr(arg)
+            if i < len(func_type.params):
+                value = self._coerce_for_store(value, func_type.params[i])
+            args.append(value)
+        dest = None
+        if not func_type.return_type.is_void():
+            dest = self.temp(ir_type_of(func_type.return_type))
+        if isinstance(func_expr, ast.Identifier):
+            symbol = func_expr.symbol
+            assert isinstance(symbol, Symbol)
+            if symbol.kind == "host":
+                if symbol.name == "sethandler":
+                    # Virtual exception model: becomes the `sethnd`
+                    # OmniVM instruction, not a host call.
+                    self.emit(Instr("sethnd", None, args))
+                    return Const(0, "i32")
+                self.emit(Instr("hostcall", dest, args, name=symbol.name))
+                return dest if dest is not None else Const(0, "i32")
+            if symbol.kind == "func":
+                self.emit(Instr("call", dest, args, name=symbol.name))
+                return dest if dest is not None else Const(0, "i32")
+        pointer = self.convert(self.lower_expr(func_expr), "u32")
+        self.emit(Instr("icall", dest, [pointer] + args))
+        return dest if dest is not None else Const(0, "i32")
+
+    def _lower_cast(self, expr: ast.Cast) -> Operand:
+        value = self.lower_expr(expr.operand)
+        target = decay(expr.target_type)
+        if target.is_void():
+            return Const(0, "i32")
+        if isinstance(target, IntType) and target.size < 4:
+            return self.narrow_cast(value, target)
+        return self.convert(value, ir_type_of(target))
+
+
+def _encode_scalar_init(expr: ast.Expr, ty: Type) -> tuple[bytes, str | None]:
+    """Encode a constant global initializer; returns (bytes, reloc symbol)."""
+    from repro.frontend.parser import _eval_const_int
+
+    target = decay(ty)
+    if isinstance(expr, ast.StringLiteral):
+        # char *p = "..." — handled by the caller as a pooled string would
+        # be better, but global string pointers are encoded as inline data
+        # plus a reloc by the driver; keep it simple: not supported here.
+        raise CompileError("string-pointer global initializers are not supported; "
+                           "use a char array", expr.loc)
+    if isinstance(expr, ast.Identifier) and isinstance(expr.symbol, object):
+        symbol = expr.symbol
+        if symbol is not None and getattr(symbol, "kind", "") in ("func", "global"):
+            return _struct.pack("<I", 0), symbol.name
+    if isinstance(expr, ast.Unary) and expr.op == "&":
+        inner = expr.operand
+        if isinstance(inner, ast.Identifier) and inner.symbol is not None:
+            return _struct.pack("<I", 0), inner.symbol.name
+        raise CompileError("unsupported address initializer", expr.loc)
+    if isinstance(expr, ast.FloatLiteral) or (
+        isinstance(target, FloatType)
+    ):
+        value = _const_float(expr)
+        if isinstance(target, FloatType) and target.size == 4:
+            return _struct.pack("<f", value), None
+        if isinstance(target, FloatType):
+            return _struct.pack("<d", value), None
+        return _struct.pack("<i", int(value)), None
+    value = _eval_const_int(expr)
+    if value is None:
+        if isinstance(expr, ast.Unary) and expr.op == "-" and isinstance(
+            expr.operand, ast.FloatLiteral
+        ):
+            fvalue = -expr.operand.value
+            if isinstance(target, FloatType) and target.size == 4:
+                return _struct.pack("<f", fvalue), None
+            return _struct.pack("<d", fvalue), None
+        raise CompileError("global initializer must be a constant", expr.loc)
+    if isinstance(target, IntType):
+        size = target.size
+        fmt = {1: "<b", 2: "<h", 4: "<i"}[size] if target.signed else \
+            {1: "<B", 2: "<H", 4: "<I"}[size]
+        mask = (1 << (size * 8)) - 1
+        raw = value & mask
+        if target.signed and raw >= (1 << (size * 8 - 1)):
+            raw -= 1 << (size * 8)
+        return _struct.pack(fmt, raw), None
+    if isinstance(target, FloatType):
+        fmt = "<f" if target.size == 4 else "<d"
+        return _struct.pack(fmt, float(value)), None
+    if target.is_pointer():
+        return _struct.pack("<I", u32(value)), None
+    raise CompileError(f"cannot initialize {ty} with a constant", expr.loc)
+
+
+def _const_float(expr: ast.Expr) -> float:
+    from repro.frontend.parser import _eval_const_int
+
+    if isinstance(expr, ast.FloatLiteral):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        return -_const_float(expr.operand)
+    value = _eval_const_int(expr)
+    if value is None:
+        raise CompileError("global float initializer must be constant", expr.loc)
+    return float(value)
+
+
+def build_module(
+    unit: ast.TranslationUnit,
+    name: str = "module",
+    structs: dict[str, StructType] | None = None,
+) -> Module:
+    """Lower an analyzed translation unit to an IR module."""
+    return IRBuilder(name, structs).build(unit)

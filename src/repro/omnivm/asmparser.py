@@ -1,0 +1,238 @@
+"""The OmniVM assembler: text assembly → object modules.
+
+The paper's toolchain is "gcc → OmniVM assembler → OmniVM linker"; this
+is the assembler.  It accepts a conventional two-section syntax::
+
+    .text
+    .globl main
+    main:
+        addi  r15, r15, -8
+        sw    r14, r15, 0
+        li    r1, 42
+        li    r2, @counter      ; symbol address
+        lw    r3, r2, 0
+        beqi  r3, 0, done       ; 18-bit immediate compare-and-branch
+        jal   helper
+    done:
+        lw    r14, r15, 0
+        addi  r15, r15, 8
+        jr    r14
+
+    .data
+    .globl counter
+    counter:
+        .word 5
+        .word @main             ; address relocation
+        .byte 1, 2, 3
+        .asciz "hello"
+        .space 16
+        .align 8
+
+Labels in ``.text`` become text symbols (global if ``.globl``-declared,
+local otherwise); the same for ``.data``.  Operand order follows the
+instruction's format string in :mod:`repro.omnivm.isa`; stores are
+written ``sw value, base, offset`` and indexed stores ``swx value, base,
+index`` to match the disassembly produced by ``VMInstr.__str__``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import AsmError
+from repro.omnivm.isa import INSTR_SIZE, SPEC_BY_NAME, VMInstr
+from repro.omnivm.objfile import DataReloc, ObjectModule
+from repro.utils.bits import align_up, s32
+
+
+def assemble(source: str, module_name: str = "asm") -> ObjectModule:
+    """Assemble OmniVM assembly text into an object module."""
+    return _Assembler(module_name).run(source)
+
+
+class _Assembler:
+    def __init__(self, module_name: str):
+        self.obj = ObjectModule(module_name)
+        self.section = "text"
+        self.data = bytearray()
+        self.globals: set[str] = set()
+        self.defined: dict[str, tuple[str, int]] = {}
+
+    def run(self, source: str) -> ObjectModule:
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split(";")[0].split("#")[0].strip()
+            if not line:
+                continue
+            try:
+                self._line(line)
+            except AsmError:
+                raise
+            except Exception as exc:
+                raise AsmError(f"line {line_no}: {exc}") from exc
+        self.obj.data = bytes(self.data)
+        for name, (section, offset) in self.defined.items():
+            self.obj.define(name, section, offset, name in self.globals)
+        return self.obj
+
+    def _line(self, line: str) -> None:
+        if line.startswith("."):
+            self._directive(line)
+            return
+        if line.endswith(":"):
+            label = line[:-1].strip()
+            if label in self.defined:
+                raise AsmError(f"duplicate label {label!r}")
+            if self.section == "text":
+                self.defined[label] = ("text", len(self.obj.text) * INSTR_SIZE)
+            else:
+                self.defined[label] = ("data", len(self.data))
+            return
+        self._instruction(line)
+
+    # -- directives ---------------------------------------------------------
+
+    def _directive(self, line: str) -> None:
+        parts = line.split(None, 1)
+        name = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        if name == ".text":
+            self.section = "text"
+        elif name == ".data":
+            self.section = "data"
+        elif name == ".globl" or name == ".global":
+            for symbol in rest.replace(",", " ").split():
+                self.globals.add(symbol)
+        elif name == ".word":
+            for item in _split_args(rest):
+                if item.startswith("@"):
+                    self.obj.data_relocs.append(
+                        DataReloc(len(self.data), item[1:])
+                    )
+                    self.data += struct.pack("<I", 0)
+                else:
+                    self.data += struct.pack("<i", s32(_number(item)))
+        elif name == ".half":
+            for item in _split_args(rest):
+                self.data += struct.pack("<h", _number(item))
+        elif name == ".byte":
+            for item in _split_args(rest):
+                self.data += struct.pack("<B", _number(item) & 0xFF)
+        elif name == ".double":
+            for item in _split_args(rest):
+                self.data += struct.pack("<d", float(item))
+        elif name == ".float":
+            for item in _split_args(rest):
+                self.data += struct.pack("<f", float(item))
+        elif name == ".asciz" or name == ".string":
+            text = rest.strip()
+            if not (text.startswith('"') and text.endswith('"')):
+                raise AsmError(f"{name} needs a quoted string")
+            decoded = text[1:-1].encode().decode("unicode_escape")
+            self.data += decoded.encode("latin-1") + b"\x00"
+        elif name == ".space" or name == ".zero":
+            self.data += b"\x00" * _number(rest)
+        elif name == ".align":
+            if self.section != "data":
+                raise AsmError(".align is only supported in .data")
+            target = align_up(len(self.data), _number(rest))
+            self.data += b"\x00" * (target - len(self.data))
+        else:
+            raise AsmError(f"unknown directive {name!r}")
+
+    # -- instructions ----------------------------------------------------------
+
+    def _instruction(self, line: str) -> None:
+        if self.section != "text":
+            raise AsmError("instruction outside .text")
+        parts = line.split(None, 1)
+        mnemonic = parts[0]
+        spec = SPEC_BY_NAME.get(mnemonic)
+        if spec is None:
+            raise AsmError(f"unknown mnemonic {mnemonic!r}")
+        operands = _split_args(parts[1]) if len(parts) > 1 else []
+        if len(operands) != len(spec.fmt):
+            raise AsmError(
+                f"{mnemonic} expects {len(spec.fmt)} operands "
+                f"(format {spec.fmt!r}), got {len(operands)}"
+            )
+        instr = VMInstr(mnemonic)
+        for slot, operand in zip(spec.fmt, operands):
+            if slot == "d":
+                instr.rd = _int_reg(operand)
+            elif slot == "s":
+                instr.rs = _int_reg(operand)
+            elif slot == "t":
+                instr.rt = _int_reg(operand)
+            elif slot == "D":
+                instr.fd = _fp_reg(operand)
+            elif slot == "S":
+                instr.fs = _fp_reg(operand)
+            elif slot == "T":
+                instr.ft = _fp_reg(operand)
+            elif slot == "i":
+                if operand.startswith("@"):
+                    instr.label = operand[1:]
+                else:
+                    instr.imm = s32(_number(operand))
+            elif slot == "j":
+                instr.imm2 = _number(operand)
+                if not -(1 << 17) <= instr.imm2 < (1 << 17):
+                    raise AsmError(
+                        f"branch immediate {instr.imm2} exceeds 18 bits; "
+                        f"use li + register branch"
+                    )
+            elif slot == "L":
+                instr.label = operand.lstrip("@")
+            else:  # pragma: no cover
+                raise AsmError(f"bad format slot {slot!r}")
+        self.obj.text.append(instr)
+
+
+def _split_args(text: str) -> list[str]:
+    """Split on commas not inside quotes."""
+    args: list[str] = []
+    depth_quote = False
+    current = ""
+    for ch in text:
+        if ch == '"':
+            depth_quote = not depth_quote
+            current += ch
+        elif ch == "," and not depth_quote:
+            args.append(current.strip())
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        args.append(current.strip())
+    return args
+
+
+def _number(text: str) -> int:
+    text = text.strip()
+    if text.startswith("'") and text.endswith("'") and len(text) >= 3:
+        body = text[1:-1].encode().decode("unicode_escape")
+        return ord(body)
+    return int(text, 0)
+
+
+def _int_reg(text: str) -> int:
+    text = text.strip().lower()
+    aliases = {"sp": 15, "ra": 14}
+    if text in aliases:
+        return aliases[text]
+    if not text.startswith("r"):
+        raise AsmError(f"expected integer register, got {text!r}")
+    number = int(text[1:])
+    if not 0 <= number < 16:
+        raise AsmError(f"register {text!r} out of range")
+    return number
+
+
+def _fp_reg(text: str) -> int:
+    text = text.strip().lower()
+    if not text.startswith("f"):
+        raise AsmError(f"expected FP register, got {text!r}")
+    number = int(text[1:])
+    if not 0 <= number < 16:
+        raise AsmError(f"FP register {text!r} out of range")
+    return number

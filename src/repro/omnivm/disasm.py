@@ -1,0 +1,50 @@
+"""OmniVM disassembler: bytes (or linked programs) → readable listings.
+
+The inverse of the assembler, used by tooling, tests (encode/disassemble
+round trips), and anyone debugging a mobile module they received over
+the wire.
+"""
+
+from __future__ import annotations
+
+from repro.omnivm.encoding import decode_program
+from repro.omnivm.isa import INSTR_SIZE, VMInstr
+from repro.omnivm.linker import LinkedProgram
+from repro.omnivm.memory import CODE_BASE
+
+
+def disassemble_bytes(blob: bytes, base: int = CODE_BASE) -> str:
+    """Disassemble a raw text image into an address-annotated listing."""
+    lines = []
+    for index, instr in enumerate(decode_program(blob)):
+        lines.append(f"{base + index * INSTR_SIZE:08x}:  {instr}")
+    return "\n".join(lines)
+
+
+def disassemble_program(program: LinkedProgram,
+                        function: str | None = None) -> str:
+    """Disassemble a linked program with symbol annotations.
+
+    Pass ``function`` to restrict the listing to one function's range.
+    """
+    by_address: dict[int, list[str]] = {}
+    for name, address in program.symbols.items():
+        by_address.setdefault(address, []).append(name)
+    start, end = 0, len(program.instrs)
+    if function is not None:
+        start, end = program.function_ranges[function]
+    lines = []
+    for index in range(start, end):
+        address = CODE_BASE + index * INSTR_SIZE
+        for name in sorted(by_address.get(address, [])):
+            lines.append(f"{name}:")
+        instr = program.instrs[index]
+        annotation = ""
+        if instr.spec.is_control and instr.spec.kind in (
+            "jump", "call", "branch", "branchi",
+        ):
+            target_names = by_address.get(instr.imm & 0xFFFFFFFF, [])
+            if target_names:
+                annotation = f"    ; -> {sorted(target_names)[0]}"
+        lines.append(f"  {address:08x}:  {instr}{annotation}")
+    return "\n".join(lines)

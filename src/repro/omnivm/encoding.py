@@ -1,0 +1,117 @@
+"""Binary encoding of OmniVM instructions.
+
+Each instruction encodes to exactly :data:`~repro.omnivm.isa.INSTR_SIZE`
+(8) bytes, little-endian:
+
+* **word 0** — ``opcode`` in bits 0–9, then up to three 4-bit register
+  fields ``a``/``b``/``c`` in bits 10–13, 14–17, 18–21.  Register fields
+  are assigned in the order the opcode's format string lists its register
+  operands (integer and FP registers share the field slots; the opcode
+  determines the register file).
+* **word 1** — the 32-bit immediate (also used for resolved code
+  addresses of branches, jumps and calls).
+
+The fixed 8-byte width keeps decoding trivial, makes every code address
+8-aligned, and gives SFI a one-instruction alignment mask for indirect
+jumps.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import EncodingError
+from repro.omnivm.isa import INSTR_SIZE, SPEC_BY_CODE, SPEC_BY_NAME, VMInstr
+from repro.utils.bits import s32, u32
+
+_REG_FIELD_CHARS = "dstDST"
+
+
+def _register_operands(instr: VMInstr) -> list[int]:
+    values = []
+    for ch in instr.spec.fmt:
+        if ch == "d":
+            values.append(instr.rd)
+        elif ch == "s":
+            values.append(instr.rs)
+        elif ch == "t":
+            values.append(instr.rt)
+        elif ch == "D":
+            values.append(instr.fd)
+        elif ch == "S":
+            values.append(instr.fs)
+        elif ch == "T":
+            values.append(instr.ft)
+    return values
+
+
+def encode_instr(instr: VMInstr) -> bytes:
+    spec = SPEC_BY_NAME.get(instr.op)
+    if spec is None:
+        raise EncodingError(f"unknown opcode {instr.op!r}")
+    if instr.label is not None:
+        raise EncodingError(
+            f"cannot encode unresolved label {instr.label!r} in {instr}"
+        )
+    regs = _register_operands(instr)
+    if len(regs) > 3:
+        raise EncodingError(f"too many register operands in {instr}")
+    word0 = spec.code & 0x3FF
+    for slot, value in enumerate(regs):
+        if not 0 <= value < 16:
+            raise EncodingError(f"register number {value} out of range in {instr}")
+        word0 |= (value & 0xF) << (10 + 4 * slot)
+    if "j" in spec.fmt:
+        # 18-bit signed compare constant in bits 14..31 (one register max).
+        if len(regs) > 1:
+            raise EncodingError(f"imm2 conflicts with registers in {instr}")
+        if not -(1 << 17) <= instr.imm2 < (1 << 17):
+            raise EncodingError(
+                f"imm2 {instr.imm2} does not fit 18 bits in {instr}"
+            )
+        word0 |= (instr.imm2 & 0x3FFFF) << 14
+    return struct.pack("<II", word0, u32(instr.imm))
+
+
+def decode_instr(blob: bytes, offset: int = 0) -> VMInstr:
+    if len(blob) - offset < INSTR_SIZE:
+        raise EncodingError("truncated instruction")
+    word0, word1 = struct.unpack_from("<II", blob, offset)
+    code = word0 & 0x3FF
+    spec = SPEC_BY_CODE.get(code)
+    if spec is None:
+        raise EncodingError(f"invalid opcode number {code}")
+    instr = VMInstr(spec.name)
+    slot = 0
+    for ch in spec.fmt:
+        if ch in _REG_FIELD_CHARS:
+            value = (word0 >> (10 + 4 * slot)) & 0xF
+            slot += 1
+            if ch == "d":
+                instr.rd = value
+            elif ch == "s":
+                instr.rs = value
+            elif ch == "t":
+                instr.rt = value
+            elif ch == "D":
+                instr.fd = value
+            elif ch == "S":
+                instr.fs = value
+            elif ch == "T":
+                instr.ft = value
+    if "j" in spec.fmt:
+        raw = (word0 >> 14) & 0x3FFFF
+        instr.imm2 = raw - (1 << 18) if raw & (1 << 17) else raw
+    instr.imm = s32(word1)
+    return instr
+
+
+def encode_program(instrs: list[VMInstr]) -> bytes:
+    """Encode a whole instruction sequence."""
+    return b"".join(encode_instr(i) for i in instrs)
+
+
+def decode_program(blob: bytes) -> list[VMInstr]:
+    if len(blob) % INSTR_SIZE != 0:
+        raise EncodingError("text section size is not a multiple of 8")
+    return [decode_instr(blob, off) for off in range(0, len(blob), INSTR_SIZE)]

@@ -1,0 +1,222 @@
+"""Segmented virtual memory with host-imposed permissions.
+
+OmniVM presents modules with a segmented 32-bit address space; the host
+assigns each segment read/write/execute permissions, and the VM raises an
+access violation (delivered through the virtual exception model) on any
+unauthorized access.  The same class backs the *target machine* simulators,
+where it additionally hosts the host-application segment that SFI must
+protect: an unsandboxed wild store can land there, and the safety tests
+show SFI preventing exactly that.
+
+Addresses are 32-bit.  The default layout gives every module:
+
+========  ===========  =====================================
+segment   base         permissions
+========  ===========  =====================================
+code      0x1000_0000  read + execute
+data      0x2000_0000  read + write
+heap      0x3000_0000  read + write
+stack     0x4000_0000  read + write
+========  ===========  =====================================
+
+Segment sizes are powers of two so the SFI masks are single and/or pairs.
+Address 0 is never mapped: null dereferences always fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AccessViolation
+from repro.utils.bits import bits_to_f32, bits_to_f64, f32_to_bits, f64_to_bits, u32
+
+PERM_READ = 1
+PERM_WRITE = 2
+PERM_EXEC = 4
+
+CODE_BASE = 0x10000000
+# The three writable segments live inside ONE 64 MiB sandbox region
+# [0x2000_0000, 0x2400_0000): SFI sandboxes stores with a single and/or
+# pair (offset mask + region base), exactly like the original single
+# data-segment design of Wahbe et al.  A wild store can land anywhere in
+# the region (possibly faulting on an unmapped hole, possibly corrupting
+# the module's *own* data) but never outside it.
+DATA_BASE = 0x20000000
+HEAP_BASE = 0x21000000
+STACK_BASE = 0x22000000
+HOST_BASE = 0x50000000
+
+#: SFI sandbox region parameters (see repro.sfi.policy).
+SANDBOX_BASE = 0x20000000
+SANDBOX_MASK = 0x03FFFFFF  # 64 MiB of offset bits
+
+#: Default segment size: 16 MiB, so offsets fit in 24 bits and the SFI
+#: mask is ``0x00FF_FFFF`` with the segment tag in the top byte.
+DEFAULT_SEGMENT_SIZE = 1 << 24
+
+SEGMENT_OFFSET_MASK = DEFAULT_SEGMENT_SIZE - 1
+
+
+@dataclass
+class Segment:
+    name: str
+    base: int
+    size: int
+    perms: int
+    data: bytearray = field(repr=False, default_factory=bytearray)
+
+    def __post_init__(self) -> None:
+        if not self.data:
+            self.data = bytearray(self.size)
+        if len(self.data) != self.size:
+            raise ValueError(f"segment {self.name}: data/size mismatch")
+
+    @property
+    def limit(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        return self.base <= address and address + length <= self.limit
+
+
+class Memory:
+    """A collection of segments with permission-checked accessors."""
+
+    def __init__(self) -> None:
+        self.segments: list[Segment] = []
+        self._last: Segment | None = None
+        #: Incremented on every successful write; tests use it to detect
+        #: unexpected mutation.
+        self.write_count = 0
+
+    # -- segment management -------------------------------------------------
+
+    def add_segment(self, name: str, base: int, size: int, perms: int,
+                    data: bytes | None = None) -> Segment:
+        base = u32(base)
+        for seg in self.segments:
+            if base < seg.limit and seg.base < base + size:
+                raise ValueError(
+                    f"segment {name} [{base:#x},{base + size:#x}) overlaps {seg.name}"
+                )
+        payload = bytearray(size)
+        if data is not None:
+            payload[: len(data)] = data
+        segment = Segment(name, base, size, perms, payload)
+        self.segments.append(segment)
+        return segment
+
+    def segment_named(self, name: str) -> Segment:
+        for seg in self.segments:
+            if seg.name == name:
+                return seg
+        raise KeyError(f"no segment named {name!r}")
+
+    def set_perms(self, name: str, perms: int) -> None:
+        """Host-imposed permission change (e.g. revoke write on a page)."""
+        self.segment_named(name).perms = perms
+
+    def find(self, address: int, length: int = 1) -> Segment | None:
+        last = self._last
+        if last is not None and last.contains(address, length):
+            return last
+        for seg in self.segments:
+            if seg.contains(address, length):
+                self._last = seg
+                return seg
+        return None
+
+    def _segment_for(self, address: int, length: int, perm: int,
+                     kind: str) -> Segment:
+        address = u32(address)
+        seg = self.find(address, length)
+        if seg is None:
+            raise AccessViolation(
+                f"{kind} of {length} bytes at unmapped address {address:#010x}",
+                address, kind,
+            )
+        if not seg.perms & perm:
+            raise AccessViolation(
+                f"{kind} at {address:#010x} denied by segment {seg.name!r} "
+                f"permissions", address, kind,
+            )
+        return seg
+
+    # -- typed accessors ----------------------------------------------------
+
+    def load(self, address: int, size: int, signed: bool = False) -> int:
+        seg = self._segment_for(address, size, PERM_READ, "load")
+        offset = address - seg.base
+        raw = int.from_bytes(seg.data[offset:offset + size], "little")
+        if signed and raw & (1 << (size * 8 - 1)):
+            raw -= 1 << (size * 8)
+        return raw
+
+    def store(self, address: int, size: int, value: int) -> None:
+        seg = self._segment_for(address, size, PERM_WRITE, "store")
+        offset = address - seg.base
+        seg.data[offset:offset + size] = (value & ((1 << (size * 8)) - 1)).to_bytes(
+            size, "little"
+        )
+        self.write_count += 1
+
+    def load_f32(self, address: int) -> float:
+        return bits_to_f32(self.load(address, 4))
+
+    def load_f64(self, address: int) -> float:
+        return bits_to_f64(
+            self.load(address, 4) | (self.load(address + 4, 4) << 32)
+        )
+
+    def store_f32(self, address: int, value: float) -> None:
+        self.store(address, 4, f32_to_bits(value))
+
+    def store_f64(self, address: int, value: float) -> None:
+        bits = f64_to_bits(value)
+        self.store(address, 4, bits & 0xFFFFFFFF)
+        self.store(address + 4, 4, bits >> 32)
+
+    def fetch_check(self, address: int, size: int = 1) -> None:
+        """Verify that *address* is executable (instruction fetch)."""
+        self._segment_for(address, size, PERM_EXEC, "execute")
+
+    # -- bulk helpers ---------------------------------------------------------
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            self.store(address + i, 1, byte)
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        return bytes(self.load(address + i, 1) for i in range(length))
+
+    def read_cstring(self, address: int, max_len: int = 1 << 16) -> bytes:
+        out = bytearray()
+        for i in range(max_len):
+            byte = self.load(address + i, 1)
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+        raise AccessViolation("unterminated string", address, "load")
+
+
+def standard_module_memory(
+    code_image: bytes,
+    data_image: bytes,
+    segment_size: int = DEFAULT_SEGMENT_SIZE,
+    heap_size: int | None = None,
+    stack_size: int = 1 << 20,
+    data_writable: bool = True,
+) -> Memory:
+    """Build the standard module address space used by loader and tests."""
+    memory = Memory()
+    memory.add_segment("code", CODE_BASE, segment_size,
+                       PERM_READ | PERM_EXEC, code_image)
+    data_perms = PERM_READ | (PERM_WRITE if data_writable else 0)
+    memory.add_segment("data", DATA_BASE, segment_size, data_perms, data_image)
+    memory.add_segment("heap", HEAP_BASE, heap_size or segment_size,
+                       PERM_READ | PERM_WRITE)
+    memory.add_segment("stack", STACK_BASE, stack_size, PERM_READ | PERM_WRITE)
+    return memory
+
+
+STACK_TOP = STACK_BASE + (1 << 20) - 16

@@ -1,0 +1,125 @@
+"""Addressing-mode selection on the IR (pre-codegen).
+
+OmniVM memory instructions take ``base + 32-bit immediate`` or
+``base + index`` addresses.  The front end lowers all addressing to
+explicit adds; this pass folds those adds back into the memory
+instructions so code generators (OmniVM *and* the native back ends) can
+use the rich addressing modes:
+
+* ``load [t], off``  where ``t = add base, C``   →  ``load [base], off+C``
+* ``load [t]``       where ``t = add base, idx`` →  ``load [base + idx]``
+
+Folding is only legal when the value of the replacement operands at the
+memory instruction provably equals their value at the add, which on this
+non-SSA IR we guarantee by requiring every involved temp to be defined
+exactly once in the function.  (Front-end-generated address temps are
+single-def; loop counters and accumulators are not, and are never folded.)
+
+The folded-through add remains in place; DCE removes it if nothing else
+uses it.  The pass records its effect in ``Instr.offset`` /
+``Instr.addr_mode`` (added to the core IR dataclass as optional fields).
+"""
+
+from __future__ import annotations
+
+from repro.ir.ir import Const, Function, GlobalRef, Instr, Operand, Temp
+from repro.opt.common import definition_counts
+from repro.utils.bits import s32
+
+
+def _single_defs(func: Function):
+    counts = definition_counts(func)
+    defs: dict[Temp, Instr] = {}
+    for block in func.blocks:
+        for instr in block.instrs:
+            if instr.dest is not None and counts[instr.dest] == 1:
+                defs[instr.dest] = instr
+    return counts, defs
+
+
+def run(func: Function) -> int:
+    """Fold addressing arithmetic into load/store instructions."""
+    counts, defs = _single_defs(func)
+
+    def is_stable(op: Operand) -> bool:
+        if isinstance(op, Temp):
+            return counts[op] == 1
+        return True  # Const / GlobalRef never change
+
+    changes = 0
+    for block in func.blocks:
+        for instr in block.instrs:
+            if instr.op not in ("load", "store"):
+                continue
+            # Ensure optional fields exist (plain attributes on the node).
+            if not hasattr(instr, "offset"):
+                instr.offset = 0
+            if not hasattr(instr, "addr_mode"):
+                instr.addr_mode = "simple"
+            changed = True
+            while changed:
+                changed = False
+                base = instr.args[0]
+                if not isinstance(base, Temp):
+                    break
+                definition = defs.get(base)
+                if definition is None or definition.op != "bin":
+                    break
+                if definition.subop == "add":
+                    a, b = definition.args
+                    if isinstance(b, Const) and is_stable(a):
+                        instr.args[0] = a
+                        instr.offset = s32(instr.offset + int(b.value))
+                        changes += 1
+                        changed = True
+                    elif isinstance(a, Const) and is_stable(b):
+                        instr.args[0] = b
+                        instr.offset = s32(instr.offset + int(a.value))
+                        changes += 1
+                        changed = True
+                    elif (
+                        instr.offset == 0
+                        and instr.addr_mode == "simple"
+                        and is_stable(a)
+                        and is_stable(b)
+                    ):
+                        # base + index form (terminal: no further folding).
+                        # load: [addr] -> [base, index]
+                        # store: [addr, value] -> [base, index, value]
+                        instr.args[0] = a
+                        instr.args.insert(1, b)
+                        instr.addr_mode = "indexed"
+                        changes += 1
+                        break
+                elif definition.subop == "sub":
+                    a, b = definition.args
+                    if isinstance(b, Const) and is_stable(a):
+                        instr.args[0] = a
+                        instr.offset = s32(instr.offset - int(b.value))
+                        changes += 1
+                        changed = True
+                    else:
+                        break
+                else:
+                    break
+    return changes
+
+
+def address_operands(instr: Instr) -> tuple[Operand, Operand | None, int]:
+    """Decompose a (possibly folded) memory instruction's address.
+
+    Returns ``(base, index_or_None, offset)``.  For stores the value
+    operand is the last arg; for loads there is no value operand.
+    """
+    offset = getattr(instr, "offset", 0)
+    mode = getattr(instr, "addr_mode", "simple")
+    if mode == "indexed":
+        return instr.args[0], instr.args[1], offset
+    return instr.args[0], None, offset
+
+
+def value_operand(instr: Instr) -> Operand:
+    """The stored value of a store instruction (mode-aware)."""
+    if instr.op != "store":
+        raise ValueError("value_operand on non-store")
+    return instr.args[-1]

@@ -1,0 +1,53 @@
+"""Dead code elimination.
+
+Removes pure instructions whose results are never used.  Works backwards
+from the side-effecting instructions: a temp is *live* if it feeds a
+side-effecting instruction, a terminator, or another live instruction.
+Iterates to a fixed point so chains of dead computations disappear in one
+pass invocation.
+"""
+
+from __future__ import annotations
+
+from repro.ir.ir import Function, Temp
+from repro.opt.common import is_pure
+
+
+def run(func: Function) -> int:
+    removed_total = 0
+    while True:
+        live: set[Temp] = set()
+        for block in func.blocks:
+            for instr in block.all_instrs():
+                if not is_pure(instr) and instr.op != "load":
+                    live.update(instr.used_temps())
+        # Propagate liveness through pure instruction chains.
+        changed = True
+        while changed:
+            changed = False
+            for block in func.blocks:
+                for instr in block.instrs:
+                    if instr.dest is not None and instr.dest in live:
+                        for temp in instr.used_temps():
+                            if temp not in live:
+                                live.add(temp)
+                                changed = True
+        removed = 0
+        for block in func.blocks:
+            kept = []
+            for instr in block.instrs:
+                deletable = (is_pure(instr) or instr.op == "load") and (
+                    instr.dest is None or instr.dest not in live
+                )
+                # A load from a dead address is removable: our segmented
+                # memory model has no volatile locations, and any faulting
+                # address would equally have faulted in the unoptimized
+                # program only if the value were used.
+                if deletable:
+                    removed += 1
+                else:
+                    kept.append(instr)
+            block.instrs = kept
+        removed_total += removed
+        if removed == 0:
+            return removed_total

@@ -1,0 +1,150 @@
+"""Local (per-basic-block) forward optimizations.
+
+Two classic passes share the forward-scan machinery:
+
+* **Copy / constant propagation** — replaces uses of a temp with its known
+  copy source or constant value while the binding is valid (invalidated as
+  soon as either side is redefined).
+* **Common subexpression elimination by local value numbering** — reuses
+  the result of an identical pure computation (``bin``/``cmp``/``cast``/
+  ``frameaddr``) earlier in the same block.  Loads participate too, with a
+  memory generation counter that any store or call bumps, so a load is
+  only reused while memory provably hasn't changed.
+
+Temps assigned exactly once in the whole function additionally propagate
+*globally* (their binding can never be invalidated), which is what lets
+address computations feed cleanly into LICM and the back ends.
+"""
+
+from __future__ import annotations
+
+from repro.ir.ir import Const, Function, GlobalRef, Instr, Operand, Temp
+from repro.opt.common import definition_counts
+
+
+def propagate_copies(func: Function) -> int:
+    """Copy/constant propagation; returns number of operand replacements."""
+    def_counts = definition_counts(func)
+    changes = 0
+
+    # Global bindings: temps defined exactly once by a copy of a constant
+    # or global address are safe to substitute everywhere.
+    global_binding: dict[Temp, Operand] = {}
+    for block in func.blocks:
+        for instr in block.instrs:
+            if (
+                instr.op == "copy"
+                and instr.dest is not None
+                and def_counts[instr.dest] == 1
+                and isinstance(instr.args[0], (Const, GlobalRef))
+            ):
+                global_binding[instr.dest] = instr.args[0]
+
+    for block in func.blocks:
+        local: dict[Temp, Operand] = {}
+
+        def substitute(op: Operand) -> Operand:
+            nonlocal changes
+            seen: set[Temp] = set()
+            while isinstance(op, Temp):
+                if op in seen:
+                    break
+                seen.add(op)
+                bound = local.get(op) or global_binding.get(op)
+                if bound is None:
+                    break
+                op = bound
+                changes += 1
+            return op
+
+        for instr in block.all_instrs():
+            instr.args = [substitute(a) for a in instr.args]
+            dest = instr.dest
+            if dest is not None:
+                # Redefinition kills bindings of dest and bindings to dest.
+                local.pop(dest, None)
+                for key in [k for k, v in local.items() if v == dest]:
+                    local.pop(key)
+                if instr.op == "copy":
+                    source = instr.args[0]
+                    if isinstance(source, (Const, GlobalRef)):
+                        local[dest] = source
+                    elif isinstance(source, Temp) and source != dest:
+                        local[dest] = source
+    return changes
+
+
+_PURE_OPS = ("bin", "cmp", "cast", "frameaddr")
+
+
+def _value_key(instr: Instr, memory_gen: int) -> tuple | None:
+    if instr.op == "bin":
+        args = instr.args
+        # Commutative ops get a canonical operand order.
+        if instr.subop in ("add", "mul", "and", "or", "xor"):
+            args = sorted(args, key=str)
+        return ("bin", instr.subop, instr.dest.ty, tuple(map(str, args)))
+    if instr.op == "cmp":
+        return ("cmp", instr.subop, instr.cmp_ty, tuple(map(str, instr.args)))
+    if instr.op == "cast":
+        return ("cast", instr.subop, instr.dest.ty, str(instr.args[0]))
+    if instr.op == "frameaddr":
+        return ("frameaddr", instr.slot)
+    if instr.op == "load":
+        return ("load", instr.mem_ty, str(instr.args[0]), memory_gen)
+    return None
+
+
+def local_cse(func: Function) -> int:
+    """Local value numbering; returns the number of reused computations."""
+    changes = 0
+    for block in func.blocks:
+        available: dict[tuple, Temp] = {}
+        memory_gen = 0
+        rewritten: list[Instr] = []
+        for instr in block.instrs:
+            if instr.op in ("store", "call", "icall", "hostcall"):
+                memory_gen += 1
+            key = None
+            if instr.op in _PURE_OPS or instr.op == "load":
+                key = _value_key(instr, memory_gen)
+            if key is not None and key in available:
+                prior = available[key]
+                if prior.ty == instr.dest.ty:
+                    rewritten.append(Instr("copy", instr.dest, [prior]))
+                    changes += 1
+                    self_invalidate(available, instr.dest)
+                    continue
+            # Invalidate keys that mention a temp we are about to redefine.
+            if instr.dest is not None:
+                self_invalidate(available, instr.dest)
+                if key is not None:
+                    available[key] = instr.dest
+            rewritten.append(instr)
+        block.instrs = rewritten
+    return changes
+
+
+def self_invalidate(available: dict[tuple, Temp], dest: Temp) -> None:
+    """Remove value-number entries that produce or mention *dest*."""
+    dest_str = str(dest)
+    stale = [
+        key
+        for key, value in available.items()
+        if value == dest or any(dest_str == part for part in _key_operands(key))
+    ]
+    for key in stale:
+        del available[key]
+
+
+def _key_operands(key: tuple) -> tuple:
+    for part in key:
+        if isinstance(part, tuple):
+            return part
+    if key and key[0] == "load":
+        return (key[2],)
+    return ()
+
+
+def run(func: Function) -> int:
+    return propagate_copies(func) + local_cse(func)

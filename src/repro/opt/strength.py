@@ -1,0 +1,66 @@
+"""Strength reduction.
+
+Rewrites expensive integer operations into cheaper shift/mask forms:
+
+* ``mul x, 2**k``  →  ``shl x, k`` (both operand orders)
+* ``div x, 2**k``  →  ``shr x, k`` for **unsigned** x (signed division
+  truncates toward zero, which a plain arithmetic shift does not match
+  for negative operands, so signed divides are left alone)
+* ``rem x, 2**k``  →  ``and x, 2**k - 1`` for unsigned x
+
+Multiplication by small constants like 3/5/9 could expand to shift+add
+chains; the simulated targets all have hardware multiply with modest
+latency, so the shift forms above capture nearly all the win — mostly in
+the front end's array-indexing code, which is the address-arithmetic
+optimization story the paper tells.
+"""
+
+from __future__ import annotations
+
+from repro.ir.ir import Const, Function, Instr, is_signed
+from repro.utils.bits import is_power_of_two, log2_exact, u32
+
+
+def run(func: Function) -> int:
+    changes = 0
+    for block in func.blocks:
+        for index, instr in enumerate(block.instrs):
+            if instr.op != "bin" or instr.dest is None:
+                continue
+            ty = instr.dest.ty
+            if ty in ("f32", "f64"):
+                continue
+            a, b = instr.args
+            if instr.subop == "mul":
+                if isinstance(b, Const) and _pow2(b):
+                    shift = log2_exact(u32(int(b.value)))
+                    block.instrs[index] = Instr(
+                        "bin", instr.dest, [a, Const(shift, ty)], subop="shl"
+                    )
+                    changes += 1
+                elif isinstance(a, Const) and _pow2(a):
+                    shift = log2_exact(u32(int(a.value)))
+                    block.instrs[index] = Instr(
+                        "bin", instr.dest, [b, Const(shift, ty)], subop="shl"
+                    )
+                    changes += 1
+            elif instr.subop == "div" and not is_signed(ty):
+                if isinstance(b, Const) and _pow2(b):
+                    shift = log2_exact(u32(int(b.value)))
+                    block.instrs[index] = Instr(
+                        "bin", instr.dest, [a, Const(shift, ty)], subop="shr"
+                    )
+                    changes += 1
+            elif instr.subop == "rem" and not is_signed(ty):
+                if isinstance(b, Const) and _pow2(b):
+                    mask = u32(int(b.value)) - 1
+                    block.instrs[index] = Instr(
+                        "bin", instr.dest, [a, Const(mask, ty)], subop="and"
+                    )
+                    changes += 1
+    return changes
+
+
+def _pow2(const: Const) -> bool:
+    value = u32(int(const.value))
+    return is_power_of_two(value)

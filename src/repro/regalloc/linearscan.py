@@ -1,0 +1,175 @@
+"""Linear-scan register allocation.
+
+Allocates IR temps to OmniVM (or native-target) registers using the
+classic Poletto–Sarkar linear scan over conservative live intervals, with
+two register classes per bank:
+
+* **caller-saved** registers hold temps that are not live across any call;
+* **callee-saved** registers hold temps that are (the emitter
+  saves/restores the ones actually used in the prologue/epilogue);
+* temps that fit in neither class **spill** to frame slots; the emitter
+  reloads them into reserved scratch registers at each use.
+
+The allocator is parameterized by the available register lists, which is
+how the paper's Table 2 experiment (OmniVM register file sizes of
+8/10/12/14/16) is reproduced: smaller files shrink the pools, forcing
+spills exactly as a real small register file would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.ir import Function, Temp
+from repro.regalloc.liveness import Interval, LinearOrder, live_intervals
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a temp lives: an integer register, FP register, or spill."""
+
+    kind: str  # 'reg' | 'freg' | 'spill' | 'fspill'
+    index: int
+
+    def is_reg(self) -> bool:
+        return self.kind in ("reg", "freg")
+
+
+@dataclass
+class Assignment:
+    """Result of register allocation for one function."""
+
+    locations: dict[Temp, Location] = field(default_factory=dict)
+    spill_slots: int = 0
+    fspill_slots: int = 0
+    used_callee_saved: list[int] = field(default_factory=list)
+    used_callee_saved_fp: list[int] = field(default_factory=list)
+    order: LinearOrder | None = None
+
+    def location(self, temp: Temp) -> Location:
+        return self.locations[temp]
+
+
+@dataclass(frozen=True)
+class RegisterFile:
+    """Allocatable registers, split by class."""
+
+    caller_int: tuple[int, ...]
+    callee_int: tuple[int, ...]
+    caller_fp: tuple[int, ...]
+    callee_fp: tuple[int, ...]
+
+
+def omnivm_register_file(num_regs: int = 16) -> RegisterFile:
+    """The allocatable OmniVM registers for a file of *num_regs*.
+
+    Fixed roles regardless of file size: ``r15`` sp, ``r14`` ra, ``r5``/
+    ``r6`` spill scratch, ``f14``/``f15`` FP spill scratch.  Arguments
+    arrive in ``r1..r4`` / ``f1..f4`` (allocatable after the entry moves).
+    Shrinking ``num_regs`` removes the highest-numbered allocatable
+    registers first — callee-saved before caller-saved — mirroring how a
+    compiler would cope with a smaller architected file.
+    """
+    if not 6 <= num_regs <= 16:
+        raise ValueError("register file size must be in [6, 16]")
+    caller = [0, 1, 2, 3, 4, 7]
+    callee = [8, 9, 10, 11, 12, 13]
+    budget = num_regs - 4  # sp, ra, and two spill scratch registers
+    usable_caller = [r for r in caller if r < num_regs][:budget]
+    remaining = budget - len(usable_caller)
+    usable_callee = [r for r in callee if r < num_regs][:remaining]
+    fp_caller = [0, 1, 2, 3, 4, 5, 6, 7]
+    fp_callee = [8, 9, 10, 11, 12, 13]
+    fp_budget = num_regs - 2  # two FP scratch
+    usable_fp_caller = [r for r in fp_caller][: min(8, fp_budget)]
+    usable_fp_callee = [r for r in fp_callee][: max(0, fp_budget - 8)]
+    return RegisterFile(
+        tuple(usable_caller),
+        tuple(usable_callee),
+        tuple(usable_fp_caller),
+        tuple(usable_fp_callee),
+    )
+
+
+def _is_fp(temp: Temp) -> bool:
+    return temp.ty in ("f32", "f64")
+
+
+class _BankAllocator:
+    """Linear scan for one register bank (int or FP)."""
+
+    def __init__(self, caller: tuple[int, ...], callee: tuple[int, ...]):
+        self.free_caller = sorted(caller)
+        self.free_callee = sorted(callee)
+        self.active: list[tuple[Interval, int, str]] = []  # (iv, reg, klass)
+        self.used_callee: set[int] = set()
+        self.spills = 0
+        self.result: dict[Temp, Location] = {}
+
+    def _expire(self, point: int) -> None:
+        still_active = []
+        for interval, reg, klass in self.active:
+            if interval.end < point:
+                (self.free_callee if klass == "callee"
+                 else self.free_caller).append(reg)
+            else:
+                still_active.append((interval, reg, klass))
+        self.free_caller.sort()
+        self.free_callee.sort()
+        self.active = still_active
+
+    def allocate(self, interval: Interval, reg_kind: str, spill_kind: str) -> None:
+        self._expire(interval.start)
+        pools = (
+            [("callee", self.free_callee)]
+            if interval.crosses_call
+            else [("caller", self.free_caller), ("callee", self.free_callee)]
+        )
+        for klass, pool in pools:
+            if pool:
+                reg = pool.pop(0)
+                if klass == "callee":
+                    self.used_callee.add(reg)
+                self.active.append((interval, reg, klass))
+                self.result[interval.temp] = Location(reg_kind, reg)
+                return
+        # No register free: spill the eligible active interval that ends
+        # last (if it ends after ours, stealing its register wins).
+        eligible = [
+            (iv, reg, klass)
+            for (iv, reg, klass) in self.active
+            if klass == "callee" or not interval.crosses_call
+        ]
+        victim = max(eligible, key=lambda item: item[0].end, default=None)
+        if victim is not None and victim[0].end > interval.end:
+            victim_iv, reg, klass = victim
+            self.active.remove(victim)
+            self.result[victim_iv.temp] = Location(spill_kind, self.spills)
+            self.spills += 1
+            if klass == "callee":
+                self.used_callee.add(reg)
+            self.active.append((interval, reg, klass))
+            self.result[interval.temp] = Location(reg_kind, reg)
+        else:
+            self.result[interval.temp] = Location(spill_kind, self.spills)
+            self.spills += 1
+
+
+def allocate(func: Function, regfile: RegisterFile) -> Assignment:
+    """Allocate registers for *func*; returns the assignment map."""
+    intervals, order = live_intervals(func)
+    int_bank = _BankAllocator(regfile.caller_int, regfile.callee_int)
+    fp_bank = _BankAllocator(regfile.caller_fp, regfile.callee_fp)
+    for interval in intervals:
+        if _is_fp(interval.temp):
+            fp_bank.allocate(interval, "freg", "fspill")
+        else:
+            int_bank.allocate(interval, "reg", "spill")
+    assignment = Assignment(order=order)
+    assignment.locations.update(int_bank.result)
+    assignment.locations.update(fp_bank.result)
+    assignment.spill_slots = int_bank.spills
+    assignment.fspill_slots = fp_bank.spills
+    assignment.used_callee_saved = sorted(int_bank.used_callee)
+    assignment.used_callee_saved_fp = sorted(fp_bank.used_callee)
+    return assignment

@@ -1,0 +1,146 @@
+"""Liveness analysis and live intervals over the linearized IR.
+
+The register allocator linearizes a function (blocks in layout order,
+instructions numbered consecutively) and needs, for every temp, a single
+conservative live interval ``[start, end]`` covering all of its defs and
+uses, extended across loop back edges (a temp live into a loop header is
+live through the whole loop body).  Classic backward dataflow provides
+block-level live-in/live-out; intervals are then grown per instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.cfg import block_order_for_layout
+from repro.ir.ir import BasicBlock, Function, Temp
+
+
+@dataclass
+class LinearOrder:
+    """A fixed linearization of a function's instructions."""
+
+    blocks: list[BasicBlock]
+    #: label -> (first instruction number, last instruction number)
+    block_span: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: flattened instructions with their numbers
+    numbered: list[tuple[int, object]] = field(default_factory=list)
+
+
+def linearize(func: Function) -> LinearOrder:
+    # Numbering starts at 1: position 0 is reserved for parameter
+    # definitions, which happen strictly before the first instruction
+    # (critical for call-crossing detection when instruction 1 is a call).
+    blocks = block_order_for_layout(func)
+    order = LinearOrder(blocks)
+    number = 1
+    for block in blocks:
+        start = number
+        for instr in block.all_instrs():
+            order.numbered.append((number, instr))
+            number += 1
+        order.block_span[block.label] = (start, max(start, number - 1))
+    return order
+
+
+def block_liveness(
+    func: Function, order: LinearOrder
+) -> tuple[dict[str, set[Temp]], dict[str, set[Temp]]]:
+    """Compute live-in / live-out sets per block (backward dataflow)."""
+    use: dict[str, set[Temp]] = {}
+    defs: dict[str, set[Temp]] = {}
+    for block in order.blocks:
+        used: set[Temp] = set()
+        defined: set[Temp] = set()
+        for instr in block.all_instrs():
+            for temp in instr.used_temps():
+                if temp not in defined:
+                    used.add(temp)
+            if instr.dest is not None:
+                defined.add(instr.dest)
+        use[block.label] = used
+        defs[block.label] = defined
+
+    live_in: dict[str, set[Temp]] = {b.label: set() for b in order.blocks}
+    live_out: dict[str, set[Temp]] = {b.label: set() for b in order.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(order.blocks):
+            label = block.label
+            out: set[Temp] = set()
+            for succ in block.successors():
+                out |= live_in.get(succ, set())
+            new_in = use[label] | (out - defs[label])
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+    return live_in, live_out
+
+
+@dataclass
+class Interval:
+    """Conservative live interval of one temp."""
+
+    temp: Temp
+    start: int
+    end: int
+    #: True if the interval is live across any call/icall/hostcall site,
+    #: in which case it must get a callee-saved register or spill.
+    crosses_call: bool = False
+
+    def overlaps_point(self, point: int) -> bool:
+        return self.start <= point <= self.end
+
+
+def live_intervals(func: Function) -> tuple[list[Interval], LinearOrder]:
+    """Build sorted live intervals for all temps in *func*.
+
+    Function parameters receive intervals starting at 0.
+    """
+    order = linearize(func)
+    live_in, live_out = block_liveness(func, order)
+
+    start: dict[Temp, int] = {}
+    end: dict[Temp, int] = {}
+
+    def touch(temp: Temp, number: int) -> None:
+        if temp not in start:
+            start[temp] = number
+            end[temp] = number
+        else:
+            start[temp] = min(start[temp], number)
+            end[temp] = max(end[temp], number)
+
+    for param in func.params:
+        touch(param, 0)
+
+    for block in order.blocks:
+        span = order.block_span[block.label]
+        for temp in live_in[block.label]:
+            touch(temp, span[0])
+        for temp in live_out[block.label]:
+            touch(temp, span[1])
+
+    for number, instr in order.numbered:
+        for temp in instr.used_temps():
+            touch(temp, number)
+        if instr.dest is not None:
+            touch(instr.dest, number)
+
+    call_points = [
+        number
+        for number, instr in order.numbered
+        if instr.op in ("call", "icall", "hostcall")
+    ]
+
+    intervals = []
+    for temp in start:
+        interval = Interval(temp, start[temp], end[temp])
+        interval.crosses_call = any(
+            start[temp] < point < end[temp] for point in call_points
+        )
+        intervals.append(interval)
+    intervals.sort(key=lambda iv: (iv.start, iv.end, iv.temp.id))
+    return intervals, order

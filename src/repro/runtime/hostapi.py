@@ -1,0 +1,80 @@
+"""Host API surface exported to mobile modules.
+
+In Omniware, the host application exports a set of library functions
+(memory management, I/O, graphics, ...) that dynamically loaded modules may
+call.  Safety comes from the combination of SFI (the module cannot *jump*
+anywhere but its own code segment or these vetted entry points) and the
+host's permission table (the runtime refuses calls to entries the host did
+not export to this module).
+
+This module defines the *signatures* of the standard host calls.  The
+implementations live in :mod:`repro.runtime.host`; the MiniC and MiniLisp
+front ends import only the signatures, so there is no dependency cycle.
+
+Signature kinds are strings: ``"int"``, ``"uint"``, ``"double"``, ``"ptr"``
+and ``"void"`` (result only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HostFunction:
+    """Signature of one host API entry point."""
+
+    index: int
+    name: str
+    params: tuple[str, ...]
+    result: str
+
+    @property
+    def arg_count(self) -> int:
+        return len(self.params)
+
+
+_HOST_FUNCTIONS: list[HostFunction] = [
+    HostFunction(0, "exit", ("int",), "void"),
+    HostFunction(1, "emit_int", ("int",), "void"),
+    HostFunction(2, "emit_char", ("int",), "void"),
+    HostFunction(3, "emit_double", ("double",), "void"),
+    HostFunction(4, "emit_str", ("ptr",), "void"),
+    HostFunction(5, "halloc", ("int",), "ptr"),
+    HostFunction(6, "hfree", ("ptr",), "void"),
+    HostFunction(7, "host_exp", ("double",), "double"),
+    HostFunction(8, "host_log", ("double",), "double"),
+    HostFunction(9, "host_sqrt", ("double",), "double"),
+    HostFunction(10, "host_pow", ("double", "double"), "double"),
+    HostFunction(11, "emit_uint", ("uint",), "void"),
+    HostFunction(12, "host_clock", (), "int"),
+    HostFunction(13, "host_sin", ("double",), "double"),
+    HostFunction(14, "host_cos", ("double",), "double"),
+    HostFunction(15, "host_floor", ("double",), "double"),
+    HostFunction(16, "host_rand", (), "int"),
+    HostFunction(17, "host_srand", ("int",), "void"),
+    HostFunction(18, "host_send", ("ptr", "int"), "int"),
+    HostFunction(19, "host_recv", ("ptr", "int"), "int"),
+    HostFunction(20, "gfx_draw", ("int", "int", "int"), "void"),
+    HostFunction(21, "gfx_clear", (), "void"),
+    # Not a real host call: `sethandler` compiles to the OmniVM `sethnd`
+    # instruction (the virtual exception model).  It is declared here so
+    # front ends pick up its signature; the IR builder intercepts it and
+    # the runtime never dispatches it.
+    HostFunction(22, "sethandler", ("ptr",), "void"),
+]
+
+HOST_FUNCTIONS: dict[str, HostFunction] = {f.name: f for f in _HOST_FUNCTIONS}
+HOST_FUNCTIONS_BY_INDEX: dict[int, HostFunction] = {f.index: f for f in _HOST_FUNCTIONS}
+
+#: Entries that every module may call unless the host says otherwise.
+DEFAULT_EXPORTS: frozenset[str] = frozenset(
+    name
+    for name in HOST_FUNCTIONS
+    if not name.startswith(("host_send", "host_recv", "gfx_"))
+)
+
+
+def lookup(name: str) -> HostFunction:
+    """Return the signature for host call *name* (KeyError if unknown)."""
+    return HOST_FUNCTIONS[name]

@@ -1,0 +1,97 @@
+"""The Omniware module loader.
+
+Loading a mobile module is the sequence the paper describes:
+
+1. **verify** the module (structural checks on the OmniVM code:
+   valid opcodes, in-segment branch targets — :mod:`repro.omnivm.verifier`);
+2. build the module's segmented **address space** and copy in the code and
+   data images;
+3. either hand the module to the **reference interpreter** (the semantic
+   oracle), or run the **load-time translator** for the host's processor,
+   which inlines SFI checks and performs its cheap machine-dependent
+   optimizations;
+4. attach the **host services** with the export policy the host chose.
+
+The public entry points return ready-to-run machines with a uniform
+``run()``/``host`` interface so examples, tests and the benchmark harness
+can treat every execution engine identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.omnivm.interp import OmniVM
+from repro.omnivm.linker import LinkedProgram
+from repro.omnivm.memory import (
+    Memory,
+    standard_module_memory,
+)
+from repro.omnivm.verifier import verify_program
+from repro.runtime.host import Host, MachineAdapter
+from repro.utils.bits import s32, u32
+
+
+class _OmniVMAdapter(MachineAdapter):
+    """Adapts the reference interpreter to the host-services interface."""
+
+    def __init__(self, vm: OmniVM):
+        self.vm = vm
+        self.memory = vm.memory
+
+    def get_int_arg(self, index: int) -> int:
+        return self.vm.state.regs[1 + index]
+
+    def get_fp_arg(self, index: int) -> float:
+        return self.vm.state.fregs[1 + index]
+
+    def set_int_result(self, value: int) -> None:
+        self.vm.state.regs[1] = u32(value)
+
+    def set_fp_result(self, value: float) -> None:
+        self.vm.state.fregs[1] = value
+
+    def halt(self, code: int) -> None:
+        self.vm.state.halted = True
+        self.vm.state.exit_code = s32(code)
+
+    def instret(self) -> int:
+        return self.vm.state.instret
+
+
+@dataclass
+class LoadedModule:
+    """A module loaded for reference (interpreted) execution."""
+
+    program: LinkedProgram
+    memory: Memory
+    vm: OmniVM
+    host: Host
+
+    def run(self, entry: str | None = None) -> int:
+        return self.vm.run(entry)
+
+
+def load_for_interpretation(
+    program: LinkedProgram,
+    host: Host | None = None,
+    verify: bool = True,
+    fuel: int = 200_000_000,
+) -> LoadedModule:
+    """Load *program* into a fresh address space under the reference VM."""
+    if verify:
+        verify_program(program)
+    memory = standard_module_memory(program.text_image, bytes(program.data_image))
+    host = host or Host()
+    vm = OmniVM(program, memory, fuel=fuel)
+    adapter = _OmniVMAdapter(vm)
+    vm.hostcall = lambda _vm, index: host.hostcall(adapter, index)
+    return LoadedModule(program, memory, vm, host)
+
+
+def run_module(program: LinkedProgram, entry: str | None = None,
+               host: Host | None = None) -> tuple[int, Host]:
+    """Convenience: load, run, and return (exit code, host)."""
+    loaded = load_for_interpretation(program, host)
+    code = loaded.run(entry)
+    return code, loaded.host

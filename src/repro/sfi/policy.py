@@ -1,0 +1,75 @@
+"""SFI sandbox policy: segment layout, masks, dedicated registers.
+
+Software fault isolation (Wahbe et al., SOSP '93 — the technology
+Omniware builds on) confines a module by rewriting every *unsafe* store
+and indirect control transfer:
+
+* **stores** are forced into the module's data sandbox by clearing the
+  segment bits of the effective address and OR-ing in the sandbox base:
+
+  .. code-block:: none
+
+      dedicated = (addr & DATA_OFFSET_MASK) | DATA_SANDBOX_BASE
+      store value, [dedicated]
+
+  A wild address is not *detected*, it is *redirected* somewhere the
+  module is allowed to write (possibly its own data — the module can
+  only hurt itself).  This is the cheap "sandboxing" variant the paper
+  uses; the check-and-trap variant costs more and is not needed for
+  safety, only for debugging.
+
+* **indirect jumps** (``jr``/``jalr``) are masked into the code segment
+  *and* onto an 8-byte instruction boundary in one AND (the offset mask
+  has the low 3 bits clear), then OR-ed with the code base.  Combined
+  with the translator's module-address→native-address map, a corrupted
+  function pointer can reach only instruction boundaries of the module's
+  own translated code.
+
+The masks live in **dedicated registers** on the RISC targets (reserved
+by the runtime; see each target's ``reserved`` table) so the sequence is
+two ALU instructions; x86 uses 32-bit immediates instead of dedicated
+registers.  Because the dedicated registers are never written by any
+translated module instruction (the SFI verifier checks this), the
+sandbox invariant holds at *every* instruction, even if a signal or
+thread switch lands mid-sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.omnivm.memory import CODE_BASE, SANDBOX_BASE, SANDBOX_MASK
+
+#: Indirect-jump mask: stay within the code segment's 16 MiB *and* on an
+#: 8-byte OmniVM instruction boundary.
+CODE_OFFSET_MASK = 0x00FFFFF8
+
+#: The sentinel "return to host" address: in-segment and aligned, so it
+#: survives SFI masking; the executor halts when control reaches it.
+RETURN_SENTINEL = CODE_BASE | CODE_OFFSET_MASK
+
+
+@dataclass(frozen=True)
+class SandboxPolicy:
+    """The constants a translator needs to emit SFI sequences."""
+
+    data_base: int = SANDBOX_BASE
+    data_mask: int = SANDBOX_MASK
+    code_base: int = CODE_BASE
+    code_mask: int = CODE_OFFSET_MASK
+
+    def sandbox_data_address(self, address: int) -> int:
+        """What the masked store address becomes (reference semantics)."""
+        return (address & self.data_mask) | self.data_base
+
+    def sandbox_code_address(self, address: int) -> int:
+        return (address & self.code_mask) | self.code_base
+
+    def data_contains(self, address: int) -> bool:
+        return (address & ~self.data_mask) == self.data_base
+
+    def code_contains(self, address: int) -> bool:
+        return (address & ~(self.code_mask | 0x7)) == self.code_base
+
+
+DEFAULT_POLICY = SandboxPolicy()

@@ -1,0 +1,184 @@
+"""Static SFI verification of translated native code.
+
+SFI's safety argument does not rest on trusting the translator: the
+loader can *verify* the translated code before running it, by checking a
+machine-checkable invariant — exactly the discipline Wahbe et al.
+describe and that later systems (NaCl, WebAssembly validators) adopted.
+
+The invariant checked here, per instruction, by linear scan with a
+conservative abstract state that resets at every basic-block boundary:
+
+* **dedicated registers** (SFI masks/bases, the global pointer, sp other
+  than by small-constant ``addi``) are never written by module code;
+* every **store** addresses memory through one of
+
+  - the stack pointer with a small immediate offset (sp is inductively
+    in-sandbox: only small-constant updates are permitted, and guard
+    zones bound small excursions),
+  - the scratch register while it is in the *data-sandboxed* state (the
+    last write to it was the ``or at, at, sfi_base`` / masked form of
+    the store sequence),
+  - the dedicated segment-base register with the masked scratch as
+    index (the PPC/SPARC indexed-store form);
+
+* every **indirect jump** goes through the scratch register in the
+  *code-sandboxed* state.
+
+Any violation raises :class:`~repro.errors.VerifyError`.  The test suite
+checks both directions: all translator output verifies, and hand-built
+malicious sequences (store through an unmasked register, indirect jump
+to a raw register) are rejected.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VerifyError
+from repro.omnivm.memory import SANDBOX_BASE, SANDBOX_MASK
+from repro.sfi.policy import DEFAULT_POLICY, SandboxPolicy
+from repro.targets.base import MInstr, TargetSpec
+from repro.translators.base import TranslatedModule
+
+_STORE_OPS = frozenset("sb sh sw sfs sfd".split())
+_STOREX_OPS = frozenset("sbx shx swx sfsx sfdx".split())
+
+# Abstract states of the scratch register.
+_UNKNOWN = 0
+_DATA_MASKED = 1     # addr & data_mask   (safe as index off sfi_base)
+_DATA_SANDBOXED = 2  # (addr & mask) | base  (safe as direct base)
+_CODE_MASKED = 3
+_CODE_SANDBOXED = 4
+
+
+def verify_sfi(module: TranslatedModule,
+               policy: SandboxPolicy = DEFAULT_POLICY) -> None:
+    """Check the SFI invariant over a translated module."""
+    spec = module.spec
+    reserved = spec.reserved
+    at = reserved["at"]
+    sp = spec.int_map[15]
+    protected = {
+        reg
+        for name, reg in reserved.items()
+        if reg >= 0 and name in (
+            "sfi_mask", "sfi_base", "sfi_code_base", "sfi_code_mask", "gp",
+        )
+    }
+    block_starts = set(module.omni_to_native.values())
+    for instr in module.instrs:
+        if instr.target >= 0:
+            block_starts.add(instr.target)
+
+    state = _UNKNOWN
+    for index, instr in enumerate(module.instrs):
+        if index in block_starts:
+            state = _UNKNOWN
+        self_writes = _int_writes(instr)
+        # Rule 1: dedicated registers are immutable.
+        for reg in self_writes:
+            if reg in protected:
+                raise VerifyError(
+                    f"native[{index}] {instr}: writes dedicated register "
+                    f"r{reg}"
+                )
+            if reg == sp and not _is_small_sp_update(instr, sp):
+                raise VerifyError(
+                    f"native[{index}] {instr}: non-constant stack pointer "
+                    f"update"
+                )
+        # Rule 2: stores.
+        if instr.op in _STORE_OPS:
+            if instr.rs == sp and -32768 <= instr.imm <= 32767:
+                pass
+            elif instr.rs == at and state == _DATA_SANDBOXED and instr.imm == 0:
+                pass
+            else:
+                raise VerifyError(
+                    f"native[{index}] {instr}: store through unsandboxed "
+                    f"address register r{instr.rs}"
+                )
+        elif instr.op in _STOREX_OPS:
+            base_ok = (
+                instr.rs == reserved.get("sfi_base")
+                and instr.rd == at
+                and state == _DATA_MASKED
+            )
+            if not base_ok:
+                raise VerifyError(
+                    f"native[{index}] {instr}: indexed store outside the "
+                    f"sandboxed form"
+                )
+        # Rule 3: indirect control transfers.
+        if instr.op in ("jr", "jalr"):
+            ra_reg = reserved.get("ra", -1)
+            through_sandbox = instr.rs == at and state == _CODE_SANDBOXED
+            # Returns through the link register are produced by trusted
+            # call instructions; under SFI the translator masks them too,
+            # so accept only the sandboxed form when SFI was requested.
+            if module.options.sfi:
+                if not through_sandbox:
+                    raise VerifyError(
+                        f"native[{index}] {instr}: unsandboxed indirect "
+                        f"jump through r{instr.rs}"
+                    )
+            elif not (through_sandbox or instr.rs == ra_reg or True):
+                pass  # without SFI there is nothing to enforce
+        # Update the abstract state of the scratch register.
+        state = _next_state(instr, at, reserved, policy, state)
+
+
+def _int_writes(instr: MInstr) -> list[int]:
+    return [reg for kind, reg in instr.reg_writes() if kind == "r"]
+
+
+def _is_small_sp_update(instr: MInstr, sp: int) -> bool:
+    return (
+        instr.op == "addi"
+        and instr.rd == sp
+        and instr.rs == sp
+        and -32768 <= instr.imm <= 32767
+    )
+
+
+def _next_state(instr: MInstr, at: int, reserved: dict, policy: SandboxPolicy,
+                state: int) -> int:
+    writes = _int_writes(instr)
+    if at not in writes:
+        return state
+    op = instr.op
+    mask_reg = reserved.get("sfi_mask", -1)
+    base_reg = reserved.get("sfi_base", -1)
+    code_base_reg = reserved.get("sfi_code_base", -1)
+    code_mask_reg = reserved.get("sfi_code_mask", -1)
+    # Masking forms.
+    if op == "and" and instr.rd == at and instr.rt == mask_reg:
+        return _DATA_MASKED
+    if op == "and" and instr.rd == at and instr.rt == code_mask_reg:
+        return _CODE_MASKED
+    if op == "andi" and instr.rd == at and instr.imm == policy.data_mask:
+        return _DATA_MASKED
+    if op == "andi" and instr.rd == at and instr.imm == policy.code_mask:
+        return _CODE_MASKED
+    # Rebasing forms.
+    if op == "or" and instr.rd == at and instr.rs == at:
+        if instr.rt == base_reg and state == _DATA_MASKED:
+            return _DATA_SANDBOXED
+        if instr.rt == code_base_reg and state == _CODE_MASKED:
+            return _CODE_SANDBOXED
+        return _UNKNOWN
+    if op == "ori" and instr.rd == at and instr.rs == at:
+        if instr.imm == SANDBOX_BASE and state == _DATA_MASKED:
+            return _DATA_SANDBOXED
+        if instr.imm == policy.code_base and state == _CODE_MASKED:
+            return _CODE_SANDBOXED
+        return _UNKNOWN
+    return _UNKNOWN
+
+
+def assert_masks_are_sound() -> None:
+    """Static consistency of the policy constants (used by tests)."""
+    if SANDBOX_BASE & SANDBOX_MASK:
+        raise VerifyError("sandbox base overlaps offset mask bits")
+    if DEFAULT_POLICY.code_base & DEFAULT_POLICY.code_mask:
+        raise VerifyError("code base overlaps code mask bits")
+    if DEFAULT_POLICY.code_mask & 0x7:
+        raise VerifyError("code mask does not enforce 8-byte alignment")

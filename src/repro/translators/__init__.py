@@ -1,0 +1,55 @@
+"""Translator registry: architecture name -> (spec factory, translator)."""
+
+from __future__ import annotations
+
+from repro.targets import mips as mips_target
+from repro.targets import ppc as ppc_target
+from repro.targets import sparc as sparc_target
+from repro.targets import x86 as x86_target
+from repro.targets.base import TargetSpec
+from repro.translators.base import (
+    BaseTranslator,
+    TranslatedModule,
+    TranslationOptions,
+)
+from repro.translators.mips import MipsTranslator
+from repro.translators.ppc import PpcTranslator
+from repro.translators.sparc import SparcTranslator
+from repro.translators.x86 import X86Translator
+
+ARCHITECTURES = ("mips", "sparc", "ppc", "x86")
+
+_REGISTRY = {
+    "mips": (mips_target.spec, MipsTranslator),
+    "sparc": (sparc_target.spec, SparcTranslator),
+    "ppc": (ppc_target.spec, PpcTranslator),
+    "x86": (x86_target.spec, X86Translator),
+}
+
+
+def target_spec(arch: str) -> TargetSpec:
+    """Fresh TargetSpec for *arch* (raises KeyError on unknown names)."""
+    return _REGISTRY[arch][0]()
+
+
+def make_translator(arch: str,
+                    options: TranslationOptions | None = None) -> BaseTranslator:
+    spec_factory, translator_cls = _REGISTRY[arch]
+    return translator_cls(spec_factory(), options)
+
+
+def translate(program, arch: str,
+              options: TranslationOptions | None = None) -> TranslatedModule:
+    """Translate a linked OmniVM program for *arch*."""
+    return make_translator(arch, options).translate(program)
+
+
+__all__ = [
+    "ARCHITECTURES",
+    "BaseTranslator",
+    "TranslatedModule",
+    "TranslationOptions",
+    "make_translator",
+    "target_spec",
+    "translate",
+]

@@ -1,0 +1,155 @@
+"""OmniVM → MIPS translation.
+
+MIPS's branch model: ``beq``/``bne`` compare two registers; the ordered
+comparisons only exist against zero (``bltz``...).  General OmniVM
+compare-and-branch therefore expands to ``slt`` + ``bne`` (category
+``cmp``), and immediate comparisons must first load the constant
+(category ``ldi``) unless it fits ``slti`` — precisely the expansion
+behaviour Figure 1 reports for ``eqntott``/``compress``.
+"""
+
+from __future__ import annotations
+
+from repro.translators.generic import GenericRISCTranslator
+from repro.utils.bits import s32
+
+ZERO = 0  # $zero
+
+_ZERO_BRANCH = {"lt": "bltz", "le": "blez", "gt": "bgtz", "ge": "bgez"}
+
+
+class MipsTranslator(GenericRISCTranslator):
+    """Expansion rules for the MIPS R4400."""
+
+    def emit_branch(self, pred: str, a_reg: int, b_reg: int | None,
+                    imm: int, target_omni: int) -> None:
+        at = self.at
+        if b_reg is not None:
+            if pred == "eq":
+                self.emit("beq", rs=a_reg, rt=b_reg, target=target_omni)
+            elif pred == "ne":
+                self.emit("bne", rs=a_reg, rt=b_reg, target=target_omni)
+            else:
+                self._ordered_branch(pred, a_reg, b_reg, target_omni)
+            return
+        # Immediate comparisons.
+        imm = s32(imm)
+        if imm == 0:
+            if pred == "eq":
+                self.emit("beq", rs=a_reg, rt=ZERO, target=target_omni)
+                return
+            if pred == "ne":
+                self.emit("bne", rs=a_reg, rt=ZERO, target=target_omni)
+                return
+            if pred in _ZERO_BRANCH:
+                self.emit(_ZERO_BRANCH[pred], rs=a_reg, target=target_omni)
+                return
+            # Unsigned against zero: ltu never / geu always / leu==eq /
+            # gtu==ne.
+            if pred == "leu":
+                self.emit("beq", rs=a_reg, rt=ZERO, target=target_omni)
+                return
+            if pred == "gtu":
+                self.emit("bne", rs=a_reg, rt=ZERO, target=target_omni)
+                return
+            if pred == "geu":
+                self.emit("j", target=target_omni)
+                return
+            if pred == "ltu":
+                return  # never taken: no instruction at all
+        if pred in ("eq", "ne"):
+            self.mat_extra_imm(imm)
+            self.emit("beq" if pred == "eq" else "bne", rs=a_reg, rt=at,
+                      target=target_omni)
+            return
+        # Ordered immediate: use slti/sltiu where the constant fits.
+        folded = self._slti_branch(pred, a_reg, imm, target_omni)
+        if folded:
+            return
+        self.mat_extra_imm(imm)
+        self._ordered_branch(pred, a_reg, at, target_omni)
+
+    def _slti_branch(self, pred: str, a_reg: int, imm: int,
+                     target_omni: int) -> bool:
+        """a <pred> imm via slti/sltiu + branch-on-zero; True on success."""
+        at = self.at
+        unsigned = pred.endswith("u")
+        base = pred[:-1] if unsigned else pred
+        slt_imm = "sltiu" if unsigned else "slti"
+        fits = self.spec.fits_imm
+        if base in ("lt", "ge") and fits(imm):
+            self.emit(slt_imm, rd=at, rs=a_reg, imm=imm, category="cmp")
+            self.emit("bne" if base == "lt" else "beq", rs=at, rt=ZERO,
+                      target=target_omni)
+            return True
+        if base in ("le", "gt") and fits(imm + 1) and (
+            imm != 0x7FFFFFFF if not unsigned else imm != -1
+        ):
+            self.emit(slt_imm, rd=at, rs=a_reg, imm=imm + 1, category="cmp")
+            self.emit("bne" if base == "le" else "beq", rs=at, rt=ZERO,
+                      target=target_omni)
+            return True
+        return False
+
+    def _ordered_branch(self, pred: str, a_reg: int, b_reg: int,
+                        target_omni: int) -> None:
+        at = self.at
+        unsigned = pred.endswith("u")
+        base = pred[:-1] if unsigned else pred
+        slt = "sltu" if unsigned else "slt"
+        if base == "lt":
+            self.emit(slt, rd=at, rs=a_reg, rt=b_reg, category="cmp")
+            branch = "bne"
+        elif base == "ge":
+            self.emit(slt, rd=at, rs=a_reg, rt=b_reg, category="cmp")
+            branch = "beq"
+        elif base == "gt":
+            self.emit(slt, rd=at, rs=b_reg, rt=a_reg, category="cmp")
+            branch = "bne"
+        else:  # le
+            self.emit(slt, rd=at, rs=b_reg, rt=a_reg, category="cmp")
+            branch = "beq"
+        self.emit(branch, rs=at, rt=ZERO, target=target_omni)
+
+    def emit_setcc(self, dest: int, pred: str, a_reg: int,
+                   b_reg: int | None, imm: int) -> None:
+        at = self.at
+        unsigned = pred.endswith("u")
+        base = pred[:-1] if unsigned else pred
+        slt = "sltu" if unsigned else "slt"
+        slt_imm = "sltiu" if unsigned else "slti"
+        if b_reg is None:
+            imm = s32(imm)
+            if base in ("eq", "ne") and 0 <= imm < (1 << 16):
+                self.emit("xori", rd=dest, rs=a_reg, imm=imm)
+                if base == "eq":
+                    self.emit("sltiu", rd=dest, rs=dest, imm=1,
+                              category="cmp")
+                else:
+                    self.emit("sltu", rd=dest, rs=ZERO, rt=dest,
+                              category="cmp")
+                return
+            if base == "lt" and self.spec.fits_imm(imm):
+                self.emit(slt_imm, rd=dest, rs=a_reg, imm=imm)
+                return
+            if base == "ge" and self.spec.fits_imm(imm):
+                self.emit(slt_imm, rd=dest, rs=a_reg, imm=imm)
+                self.emit("xori", rd=dest, rs=dest, imm=1, category="cmp")
+                return
+            b_reg = self.mat_extra_imm(imm)
+        if base == "eq":
+            self.emit("xor", rd=dest, rs=a_reg, rt=b_reg)
+            self.emit("sltiu", rd=dest, rs=dest, imm=1, category="cmp")
+        elif base == "ne":
+            self.emit("xor", rd=dest, rs=a_reg, rt=b_reg)
+            self.emit("sltu", rd=dest, rs=ZERO, rt=dest, category="cmp")
+        elif base == "lt":
+            self.emit(slt, rd=dest, rs=a_reg, rt=b_reg)
+        elif base == "gt":
+            self.emit(slt, rd=dest, rs=b_reg, rt=a_reg)
+        elif base == "ge":
+            self.emit(slt, rd=dest, rs=a_reg, rt=b_reg)
+            self.emit("xori", rd=dest, rs=dest, imm=1, category="cmp")
+        else:  # le
+            self.emit(slt, rd=dest, rs=b_reg, rt=a_reg)
+            self.emit("xori", rd=dest, rs=dest, imm=1, category="cmp")

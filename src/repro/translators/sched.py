@@ -1,0 +1,199 @@
+"""Local instruction scheduling and delay-slot filling.
+
+The paper's translators perform *local* (basic-block) list scheduling —
+"based on the algorithm described in [45]" (Wall's Mahler) — and report
+in Table 5 that it recovers a large part of the SFI overhead by hiding
+the sandboxing instructions in pipeline interlock slots.  This module
+implements:
+
+* a dependence-DAG **list scheduler** with latency-weighted critical-path
+  priorities (memory operations keep program order against stores; the
+  SFI sequences reorder freely around independent work, which is exactly
+  the "scheduling hides SFI" effect);
+* a **delay-slot filler** for MIPS/SPARC: the instruction immediately
+  preceding a control transfer moves into its slot when independent;
+  otherwise a ``nop`` (category ``bnop``) fills it.
+
+Both run on straight-line runs of native instructions between block
+boundaries, after translation and before execution.
+"""
+
+from __future__ import annotations
+
+from repro.targets.base import MInstr, TargetSpec
+
+
+def _mem_kind(instr: MInstr) -> str:
+    if instr.is_store():
+        return "store"
+    if instr.is_load():
+        return "load"
+    if instr.op in ("hostcall", "trap"):
+        return "barrier"
+    return ""
+
+
+def build_dependences(block: list[MInstr]) -> list[list[int]]:
+    """Return successor lists: edges i -> j mean j must follow i."""
+    n = len(block)
+    succs: list[list[int]] = [[] for _ in range(n)]
+    last_write: dict[tuple[str, int], int] = {}
+    last_reads: dict[tuple[str, int], list[int]] = {}
+    last_store = -1
+    last_mem = -1
+    last_barrier = -1
+    for j, instr in enumerate(block):
+        preds: set[int] = set()
+        for key in instr.reg_reads():
+            if key in last_write:
+                preds.add(last_write[key])
+        for key in instr.reg_writes():
+            if key in last_write:
+                preds.add(last_write[key])  # WAW
+            for reader in last_reads.get(key, ()):
+                preds.add(reader)  # WAR
+        kind = _mem_kind(instr)
+        if kind == "load":
+            if last_store >= 0:
+                preds.add(last_store)
+        elif kind == "store":
+            if last_mem >= 0:
+                preds.add(last_mem)
+            if last_store >= 0:
+                preds.add(last_store)
+        elif kind == "barrier":
+            preds.update(range(j))
+        if last_barrier >= 0:
+            preds.add(last_barrier)
+        for p in preds:
+            if p != j:
+                succs[p].append(j)
+        for key in instr.reg_reads():
+            last_reads.setdefault(key, []).append(j)
+        for key in instr.reg_writes():
+            last_write[key] = j
+            last_reads[key] = []
+        if kind == "store":
+            last_store = j
+            last_mem = j
+        elif kind == "load":
+            last_mem = j
+        elif kind == "barrier":
+            last_barrier = j
+            last_store = j
+            last_mem = j
+    return succs
+
+
+def list_schedule(block: list[MInstr], spec: TargetSpec) -> list[MInstr]:
+    """Reorder *block* to reduce stalls; the final instruction stays last
+    if it is a control transfer."""
+    if len(block) < 2:
+        return block
+    tail: list[MInstr] = []
+    body = block
+    if block[-1].is_branch() or block[-1].op in ("bcc", "fbcc"):
+        body = block[:-1]
+        tail = [block[-1]]
+        if not body:
+            return block
+    succs = build_dependences(block)
+    n = len(body)
+    indegree = [0] * n
+    for i in range(n):
+        for j in succs[i]:
+            if j < n:
+                indegree[j] += 1
+    # Critical-path heights (latency-weighted).
+    height = [0] * n
+    for i in range(n - 1, -1, -1):
+        latency = spec.timing.result_latency(body[i])
+        best = 0
+        for j in succs[i]:
+            if j < n:
+                best = max(best, height[j])
+        height[i] = latency + best
+    ready = [i for i in range(n) if indegree[i] == 0]
+    # Operand availability times per register.
+    available: dict[tuple[str, int], int] = {}
+    clock = 0
+    scheduled: list[int] = []
+    in_ready = set(ready)
+    while ready:
+        # Pick the ready instruction that can issue earliest; break ties
+        # by critical-path height, then original order (determinism).
+        def start_time(i: int) -> int:
+            t = clock
+            for key in body[i].reg_reads():
+                t = max(t, available.get(key, 0))
+            return t
+
+        ready.sort(key=lambda i: (start_time(i), -height[i], i))
+        chosen = ready.pop(0)
+        in_ready.discard(chosen)
+        clock = max(clock + 1, start_time(chosen) + 1)
+        latency = spec.timing.result_latency(body[chosen])
+        for key in body[chosen].reg_writes():
+            available[key] = clock + latency - 1
+        scheduled.append(chosen)
+        for j in succs[chosen]:
+            if j < n and j not in in_ready and j not in scheduled:
+                indegree[j] -= 1
+                if indegree[j] == 0:
+                    ready.append(j)
+                    in_ready.add(j)
+    if len(scheduled) != n:  # cycle safety net: keep original order
+        return block
+    result = [body[i] for i in scheduled]
+    # The branch (if any) must still respect its dependences: it already
+    # depended on everything it reads, and nothing was removed, so
+    # appending it last is safe.
+    result.extend(tail)
+    return result
+
+
+def finalize_block(
+    block: list[MInstr], spec: TargetSpec, schedule: bool
+) -> list[MInstr]:
+    """Append the delay slot for a block ending in a control transfer.
+
+    A block produced by the translator contains at most one control
+    transfer, and only as its final instruction.  When *schedule* is on,
+    the immediately preceding independent instruction moves into the
+    slot; otherwise (or when nothing is movable) a ``nop`` with category
+    ``bnop`` fills it.
+    """
+    if not spec.delay_slots or not block:
+        return block
+    last = block[-1]
+    if not (last.is_branch() or last.op in ("bcc", "fbcc")):
+        return block
+    filler: MInstr | None = None
+    link_reg = spec.reserved.get("ra", -1)
+    if schedule and len(block) >= 2 and _can_fill(block[-2], last, link_reg):
+        filler = block[-2]
+        block = block[:-2] + [last, filler]
+        return block
+    return block + [MInstr("nop", omni_addr=last.omni_addr,
+                           category="bnop")]
+
+
+def _can_fill(candidate: MInstr, branch: MInstr, link_reg: int) -> bool:
+    """May *candidate* move into *branch*'s delay slot?"""
+    if candidate.is_branch() or candidate.op in (
+        "bcc", "fbcc", "hostcall", "trap", "nop", "jal", "jalr", "jr", "j",
+    ):
+        return False
+    written = set(candidate.reg_writes())
+    if any(read in written for read in branch.reg_reads()):
+        return False
+    # Calls write the link register BEFORE the delay slot executes, so a
+    # candidate that reads or writes it must not move into the slot
+    # (the classic $ra-in-jal-delay-slot hazard).
+    if branch.op in ("jal", "jalr") and link_reg >= 0:
+        touched = set(candidate.reg_reads()) | written
+        if ("r", link_reg) in touched:
+            return False
+    # cc state: a cc-writing candidate cannot slide past a cc-reading
+    # branch (checked above via reg sets, which include ("cc", 0)).
+    return True

@@ -1,0 +1,194 @@
+"""Workload ``alvinn`` — neural network training (SPEC92 ``alvinn`` analogue).
+
+SPEC92 alvinn trains the ALVINN autonomous-driving network: dense
+single-hidden-layer backpropagation, so the profile is long floating-
+point multiply-accumulate loops — the workload whose x86 numbers the
+paper uses to demonstrate FP-pipeline scheduling, and whose RISC numbers
+benefit most from load latency hiding.
+
+This analogue trains a 16-8-4 multilayer perceptron with a fast-sigmoid
+activation (``0.5 + x / (2*(1+|x|))`` — pure FP arithmetic, so the MiniC
+build and the Python oracle compute bit-identical IEEE doubles) on 10
+deterministic patterns for 3 epochs and emits the per-epoch sum-squared
+error and a weight checksum.
+"""
+
+from __future__ import annotations
+
+NAME = "alvinn"
+
+N_IN = 16
+N_HID = 8
+N_OUT = 4
+N_PAT = 10
+EPOCHS = 3
+LEARNING_RATE = 0.3
+
+
+def _lcg_stream():
+    seed = 0xBEEF
+    while True:
+        seed = (seed * 1103515245 + 12345) & 0xFFFFFFFF
+        yield (seed >> 16) & 0x7FFF
+
+
+def expected_output() -> list[object]:
+    rng = _lcg_stream()
+
+    def rnd() -> float:
+        return (next(rng) % 1000) / 1000.0 - 0.5
+
+    w1 = [[rnd() for _ in range(N_HID)] for _ in range(N_IN)]
+    b1 = [rnd() for _ in range(N_HID)]
+    w2 = [[rnd() for _ in range(N_OUT)] for _ in range(N_HID)]
+    b2 = [rnd() for _ in range(N_OUT)]
+    patterns = []
+    for _ in range(N_PAT):
+        x = [(next(rng) % 1000) / 1000.0 for _ in range(N_IN)]
+        total = sum(x)
+        target = [0.0] * N_OUT
+        target[int(total) % N_OUT] = 1.0
+        patterns.append((x, target))
+
+    def sigmoid(v: float) -> float:
+        av = v if v >= 0.0 else -v
+        return 0.5 + v / (2.0 * (1.0 + av))
+
+    outputs: list[object] = []
+    for _epoch in range(EPOCHS):
+        sse = 0.0
+        for x, target in patterns:
+            hid = [0.0] * N_HID
+            for j in range(N_HID):
+                acc = b1[j]
+                for i in range(N_IN):
+                    acc += x[i] * w1[i][j]
+                hid[j] = sigmoid(acc)
+            out = [0.0] * N_OUT
+            for k in range(N_OUT):
+                acc = b2[k]
+                for j in range(N_HID):
+                    acc += hid[j] * w2[j][k]
+                out[k] = sigmoid(acc)
+            dout = [0.0] * N_OUT
+            for k in range(N_OUT):
+                err = target[k] - out[k]
+                sse += err * err
+                dout[k] = err * out[k] * (1.0 - out[k])
+            dhid = [0.0] * N_HID
+            for j in range(N_HID):
+                acc = 0.0
+                for k in range(N_OUT):
+                    acc += dout[k] * w2[j][k]
+                dhid[j] = acc * hid[j] * (1.0 - hid[j])
+            for j in range(N_HID):
+                for k in range(N_OUT):
+                    w2[j][k] += LEARNING_RATE * dout[k] * hid[j]
+            for k in range(N_OUT):
+                b2[k] += LEARNING_RATE * dout[k]
+            for i in range(N_IN):
+                for j in range(N_HID):
+                    w1[i][j] += LEARNING_RATE * dhid[j] * x[i]
+            for j in range(N_HID):
+                b1[j] += LEARNING_RATE * dhid[j]
+        outputs.append(sse)
+    checksum = 0.0
+    for i in range(N_IN):
+        for j in range(N_HID):
+            checksum += w1[i][j]
+    outputs.append(checksum)
+    return outputs
+
+
+SOURCE = r"""
+double w1[16][8];
+double b1[8];
+double w2[8][4];
+double b2[4];
+double px[10][16];
+double pt[10][4];
+double hid[8];
+double out[4];
+double dout[4];
+double dhid[8];
+
+uint seed;
+
+int lcg(void) {
+    seed = seed * 1103515245 + 12345;
+    return (int)((seed >> 16) & 0x7FFF);
+}
+
+double rnd(void) {
+    return (double)(lcg() % 1000) / 1000.0 - 0.5;
+}
+
+double sigmoid(double v) {
+    double av = v;
+    if (av < 0.0) av = -av;
+    return 0.5 + v / (2.0 * (1.0 + av));
+}
+
+int main() {
+    int i; int j; int k; int p; int e;
+    seed = 0xBEEF;
+    for (i = 0; i < 16; i++)
+        for (j = 0; j < 8; j++)
+            w1[i][j] = rnd();
+    for (j = 0; j < 8; j++) b1[j] = rnd();
+    for (j = 0; j < 8; j++)
+        for (k = 0; k < 4; k++)
+            w2[j][k] = rnd();
+    for (k = 0; k < 4; k++) b2[k] = rnd();
+    for (p = 0; p < 10; p++) {
+        double total = 0.0;
+        for (i = 0; i < 16; i++) {
+            px[p][i] = (double)(lcg() % 1000) / 1000.0;
+            total = total + px[p][i];
+        }
+        for (k = 0; k < 4; k++) pt[p][k] = 0.0;
+        pt[p][(int)total % 4] = 1.0;
+    }
+
+    for (e = 0; e < 3; e++) {
+        double sse = 0.0;
+        for (p = 0; p < 10; p++) {
+            for (j = 0; j < 8; j++) {
+                double acc = b1[j];
+                for (i = 0; i < 16; i++) acc += px[p][i] * w1[i][j];
+                hid[j] = sigmoid(acc);
+            }
+            for (k = 0; k < 4; k++) {
+                double acc = b2[k];
+                for (j = 0; j < 8; j++) acc += hid[j] * w2[j][k];
+                out[k] = sigmoid(acc);
+            }
+            for (k = 0; k < 4; k++) {
+                double err = pt[p][k] - out[k];
+                sse += err * err;
+                dout[k] = err * out[k] * (1.0 - out[k]);
+            }
+            for (j = 0; j < 8; j++) {
+                double acc = 0.0;
+                for (k = 0; k < 4; k++) acc += dout[k] * w2[j][k];
+                dhid[j] = acc * hid[j] * (1.0 - hid[j]);
+            }
+            for (j = 0; j < 8; j++)
+                for (k = 0; k < 4; k++)
+                    w2[j][k] += 0.3 * dout[k] * hid[j];
+            for (k = 0; k < 4; k++) b2[k] += 0.3 * dout[k];
+            for (i = 0; i < 16; i++)
+                for (j = 0; j < 8; j++)
+                    w1[i][j] += 0.3 * dhid[j] * px[p][i];
+            for (j = 0; j < 8; j++) b1[j] += 0.3 * dhid[j];
+        }
+        emit_double(sse);
+    }
+    double checksum = 0.0;
+    for (i = 0; i < 16; i++)
+        for (j = 0; j < 8; j++)
+            checksum += w1[i][j];
+    emit_double(checksum);
+    return 0;
+}
+"""

@@ -1,0 +1,226 @@
+"""Workload ``compress`` — LZW compression (SPEC92 ``compress`` analogue).
+
+SPEC92 compress is LZW with a hash-probed string table and bit-packed
+output; its profile is integer hashing, table probing, shifting/masking
+and byte I/O.  This analogue compresses a deterministic pseudo-text with
+12-bit LZW (hash table with linear probing), decompresses the code
+stream, verifies the round trip, and emits the code count, a checksum of
+the code stream, and the verification flag.
+
+A pure-Python oracle (:func:`expected_output`) implements the identical
+algorithm so the MiniC build is checked end-to-end, not just for crashes.
+"""
+
+from __future__ import annotations
+
+NAME = "compress"
+
+TEXT_LEN = 1000
+HASH_SIZE = 5003
+MAX_CODES = 4096
+
+
+def _make_text() -> bytes:
+    """The deterministic pseudo-text both implementations compress."""
+    seed = 0x1234
+    phrase = b"the quick brown fox jumps over the lazy dog "
+    out = bytearray()
+    while len(out) < TEXT_LEN:
+        seed = (seed * 1103515245 + 12345) & 0xFFFFFFFF
+        pick = (seed >> 16) % 26
+        out.extend(phrase)
+        out.append(97 + pick)
+    return bytes(out[:TEXT_LEN])
+
+
+def _lzw_compress(data: bytes) -> list[int]:
+    ht_key = [-1] * HASH_SIZE
+    ht_code = [0] * HASH_SIZE
+    next_code = 256
+    codes: list[int] = []
+    prefix = data[0]
+    for ch in data[1:]:
+        key = (prefix << 8) | ch
+        h = (key * 2654435761 & 0xFFFFFFFF) % HASH_SIZE
+        while ht_key[h] != -1 and ht_key[h] != key:
+            h = (h + 1) % HASH_SIZE
+        if ht_key[h] == key:
+            prefix = ht_code[h]
+            continue
+        codes.append(prefix)
+        if next_code < MAX_CODES:
+            ht_key[h] = key
+            ht_code[h] = next_code
+            next_code += 1
+        prefix = ch
+    codes.append(prefix)
+    return codes
+
+
+def _lzw_decompress(codes: list[int]) -> bytes:
+    table: list[bytes] = [bytes([i]) for i in range(256)] + [b""] * (
+        MAX_CODES - 256
+    )
+    next_code = 256
+    prev = codes[0]
+    out = bytearray(table[prev])
+    for code in codes[1:]:
+        if code < next_code:
+            entry = table[code]
+        else:  # KwKwK case
+            entry = table[prev] + table[prev][:1]
+        out.extend(entry)
+        if next_code < MAX_CODES:
+            table[next_code] = table[prev] + entry[:1]
+            next_code += 1
+        prev = code
+    return bytes(out)
+
+
+def expected_output() -> list[object]:
+    data = _make_text()
+    codes = _lzw_compress(data)
+    checksum = 0
+    for index, code in enumerate(codes):
+        checksum = (checksum + code * (index + 1)) & 0x7FFFFFFF
+    ok = 1 if _lzw_decompress(codes) == data else 0
+    return [len(codes), checksum, ok]
+
+
+SOURCE = r"""
+int TEXT_LEN;   /* set in main */
+char text[2600];
+int ht_key[5003];
+int ht_code[5003];
+int codes[2600];
+int ncodes;
+
+/* decompression string table: entries stored in a byte pool */
+char pool[40000];
+int entry_off[4096];
+int entry_len[4096];
+int pool_top;
+
+void make_text(void) {
+    uint seed = 0x1234;
+    char *phrase = "the quick brown fox jumps over the lazy dog ";
+    int plen = 0;
+    while (phrase[plen]) plen++;
+    int pos = 0;
+    while (pos < TEXT_LEN) {
+        seed = seed * 1103515245 + 12345;
+        int pick = (int)((seed >> 16) % 26);
+        int i;
+        for (i = 0; i < plen && pos < TEXT_LEN; i++) {
+            text[pos] = phrase[i];
+            pos++;
+        }
+        if (pos < TEXT_LEN) {
+            text[pos] = (char)(97 + pick);
+            pos++;
+        }
+    }
+}
+
+void compress(void) {
+    int i;
+    for (i = 0; i < 5003; i++) ht_key[i] = -1;
+    int next_code = 256;
+    ncodes = 0;
+    int prefix = text[0] & 255;
+    for (i = 1; i < TEXT_LEN; i++) {
+        int ch = text[i] & 255;
+        int key = (prefix << 8) | ch;
+        uint h = ((uint)key * 2654435761u) % 5003u;
+        while (ht_key[h] != -1 && ht_key[h] != key) {
+            h = (h + 1u) % 5003u;
+        }
+        if (ht_key[h] == key) {
+            prefix = ht_code[h];
+            continue;
+        }
+        codes[ncodes] = prefix;
+        ncodes++;
+        if (next_code < 4096) {
+            ht_key[h] = key;
+            ht_code[h] = next_code;
+            next_code++;
+        }
+        prefix = ch;
+    }
+    codes[ncodes] = prefix;
+    ncodes++;
+}
+
+int decompress_and_check(void) {
+    int i;
+    pool_top = 0;
+    for (i = 0; i < 256; i++) {
+        entry_off[i] = pool_top;
+        entry_len[i] = 1;
+        pool[pool_top] = (char)i;
+        pool_top++;
+    }
+    int next_code = 256;
+    int prev = codes[0];
+    int pos = 0;
+    /* first output */
+    if ((text[pos] & 255) != (pool[entry_off[prev]] & 255)) return 0;
+    pos++;
+    int ci;
+    for (ci = 1; ci < ncodes; ci++) {
+        int code = codes[ci];
+        int eoff; int elen;
+        int kwk = 0;
+        if (code < next_code) {
+            eoff = entry_off[code];
+            elen = entry_len[code];
+        } else {
+            /* KwKwK: entry = prev_string + first char of prev_string */
+            eoff = entry_off[prev];
+            elen = entry_len[prev] + 1;
+            kwk = 1;
+        }
+        /* verify entry against the original text */
+        for (i = 0; i < elen; i++) {
+            int expect;
+            if (kwk && i == elen - 1) expect = pool[entry_off[prev]] & 255;
+            else expect = pool[eoff + i] & 255;
+            if ((text[pos] & 255) != expect) return 0;
+            pos++;
+        }
+        /* add prev_string + first char of current entry to the table */
+        if (next_code < 4096) {
+            int plen = entry_len[prev];
+            entry_off[next_code] = pool_top;
+            entry_len[next_code] = plen + 1;
+            for (i = 0; i < plen; i++) {
+                pool[pool_top] = pool[entry_off[prev] + i];
+                pool_top++;
+            }
+            if (kwk) pool[pool_top] = pool[entry_off[prev]];
+            else pool[pool_top] = pool[eoff];
+            pool_top++;
+            next_code++;
+        }
+        prev = code;
+    }
+    return pos == TEXT_LEN;
+}
+
+int main() {
+    TEXT_LEN = 1000;
+    make_text();
+    compress();
+    int checksum = 0;
+    int i;
+    for (i = 0; i < ncodes; i++) {
+        checksum = (checksum + codes[i] * (i + 1)) & 0x7FFFFFFF;
+    }
+    int ok = decompress_and_check();
+    emit_int(ncodes);
+    emit_int(checksum);
+    emit_int(ok);
+    return 0;
+}
+"""

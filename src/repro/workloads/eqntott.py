@@ -1,0 +1,132 @@
+"""Workload ``eqntott`` — truth-table generation (SPEC92 ``eqntott`` analogue).
+
+SPEC92 eqntott converts boolean equations to truth tables; its hot spot
+is ``cmppt``, a comparison routine called through a function pointer by
+quicksort — short, extremely branchy integer code.  The paper notes its
+compare-against-constant branches drive the MIPS ``ldi`` and PPC ``cmp``
+expansions.
+
+This analogue evaluates a 10-variable boolean function over all 512
+even-parity input vectors to build a (output, input) truth table, sorts
+it with a recursive quicksort whose comparator is called through a
+function pointer (exercising SFI's indirect-jump sandboxing on the hot
+path), and emits the sorted table's checksum, the count of true outputs,
+and the index of the first true row.
+"""
+
+from __future__ import annotations
+
+NAME = "eqntott"
+
+N_ROWS = 256
+
+
+def _function(v: int) -> int:
+    """The boolean function both implementations tabulate."""
+    b = [(v >> i) & 1 for i in range(10)]
+    t1 = b[0] & b[3] | b[1] & ~b[4] & 1
+    t2 = (b[2] ^ b[5]) & (b[6] | b[7])
+    t3 = b[8] & b[9] | b[0] & b[7]
+    parity = 0
+    for i in range(10):
+        parity ^= b[i]
+    return (t1 & t2 | t3 ^ parity) & 1
+
+
+def expected_output() -> list[object]:
+    rows = []
+    for index in range(N_ROWS):
+        v = (index * 2654435761) & 0x3FF  # scatter the input order
+        out = _function(v)
+        rows.append((out << 16) | v)
+    # qsort by (output desc, input asc) — encoded in the comparator.
+    def key(row: int) -> tuple[int, int]:
+        return (-(row >> 16), row & 0xFFFF)
+
+    rows.sort(key=key)
+    checksum = 0
+    trues = 0
+    first_true = -1
+    for index, row in enumerate(rows):
+        checksum = (checksum + row * (index + 1)) & 0x7FFFFFFF
+        if row >> 16:
+            trues += 1
+            if first_true < 0:
+                first_true = index
+    return [checksum, trues, first_true]
+
+
+SOURCE = r"""
+int rows[512];
+int nrows;
+
+int bit(int v, int i) { return (v >> i) & 1; }
+
+int func(int v) {
+    int t1 = (bit(v,0) & bit(v,3)) | (bit(v,1) & (~bit(v,4) & 1));
+    int t2 = (bit(v,2) ^ bit(v,5)) & (bit(v,6) | bit(v,7));
+    int t3 = (bit(v,8) & bit(v,9)) | (bit(v,0) & bit(v,7));
+    int parity = 0;
+    int i;
+    for (i = 0; i < 10; i++) parity ^= bit(v, i);
+    return ((t1 & t2) | (t3 ^ parity)) & 1;
+}
+
+/* cmppt-style comparator: output descending, then input ascending */
+int cmppt(int a, int b) {
+    int ao = a >> 16;
+    int bo = b >> 16;
+    if (ao > bo) return -1;
+    if (ao < bo) return 1;
+    int ai = a & 0xFFFF;
+    int bi = b & 0xFFFF;
+    if (ai < bi) return -1;
+    if (ai > bi) return 1;
+    return 0;
+}
+
+void qsort_rows(int lo, int hi, int (*cmp)(int, int)) {
+    if (lo >= hi) return;
+    int pivot = rows[(lo + hi) / 2];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+        while (cmp(rows[i], pivot) < 0) i++;
+        while (cmp(rows[j], pivot) > 0) j--;
+        if (i <= j) {
+            int tmp = rows[i];
+            rows[i] = rows[j];
+            rows[j] = tmp;
+            i++;
+            j--;
+        }
+    }
+    qsort_rows(lo, j, cmp);
+    qsort_rows(i, hi, cmp);
+}
+
+int main() {
+    int index;
+    nrows = 256;
+    for (index = 0; index < nrows; index++) {
+        int v = (index * (int)2654435761u) & 0x3FF;
+        int out = func(v);
+        rows[index] = (out << 16) | v;
+    }
+    qsort_rows(0, nrows - 1, cmppt);
+    int checksum = 0;
+    int trues = 0;
+    int first_true = -1;
+    for (index = 0; index < nrows; index++) {
+        checksum = (checksum + rows[index] * (index + 1)) & 0x7FFFFFFF;
+        if (rows[index] >> 16) {
+            trues++;
+            if (first_true < 0) first_true = index;
+        }
+    }
+    emit_int(checksum);
+    emit_int(trues);
+    emit_int(first_true);
+    return 0;
+}
+"""

@@ -1,0 +1,176 @@
+"""Workload ``li`` — a small Lisp interpreter (SPEC92 ``li`` analogue).
+
+xlisp in SPEC92 is an interpreter: its execution profile is dominated by
+pointer-chasing through cons cells, type-tag dispatch, association-list
+environment lookups, and deep recursion.  This analogue implements an
+eval/apply interpreter for a Lisp dialect with numbers, symbols, cons
+cells, ``quote``/``if``/``lambda`` special forms, arithmetic builtins and
+closures with alist environments — then runs ``(fib 10)``, ``(fact 9)``
+and a list-length computation through it.
+
+The heap is the host-provided allocator (``halloc``), so the workload
+also exercises the runtime's memory-management exports.
+"""
+
+from __future__ import annotations
+
+NAME = "li"
+
+#: What the interpreter computes, via an independent Python oracle.
+def expected_output() -> list[object]:
+    def fib(n: int) -> int:
+        return n if n < 2 else fib(n - 1) + fib(n - 2)
+
+    def fact(n: int) -> int:
+        return 1 if n <= 1 else n * fact(n - 1)
+
+    return [fib(10), fact(9), 24]
+
+
+SOURCE = r"""
+/* A small Lisp: tags */
+struct Obj {
+    int tag;          /* 0=num 1=sym 2=cons 3=closure */
+    int num;          /* number value or symbol id */
+    struct Obj *a;    /* car / params / closure body */
+    struct Obj *b;    /* cdr / closure env */
+};
+
+/* symbol ids */
+int SYM_N; int SYM_FIB; int SYM_FACT; int SYM_IF; int SYM_QUOTE;
+int SYM_LAMBDA; int SYM_ADD; int SYM_SUB; int SYM_MUL; int SYM_LT;
+int SYM_LE;
+
+struct Obj *mk(int tag, int num, struct Obj *a, struct Obj *b) {
+    struct Obj *o = (struct Obj *) halloc(sizeof(struct Obj));
+    o->tag = tag; o->num = num; o->a = a; o->b = b;
+    return o;
+}
+
+struct Obj *num(int v) { return mk(0, v, 0, 0); }
+struct Obj *sym(int id) { return mk(1, id, 0, 0); }
+struct Obj *cons(struct Obj *a, struct Obj *b) { return mk(2, 0, a, b); }
+
+/* list helpers */
+struct Obj *list2(struct Obj *a, struct Obj *b) {
+    return cons(a, cons(b, 0));
+}
+struct Obj *list3(struct Obj *a, struct Obj *b, struct Obj *c) {
+    return cons(a, cons(b, cons(c, 0)));
+}
+struct Obj *list4(struct Obj *a, struct Obj *b, struct Obj *c,
+                  struct Obj *d) {
+    return cons(a, cons(b, cons(c, cons(d, 0))));
+}
+
+/* alist environment: ((sym . val) ...) */
+struct Obj *lookup(struct Obj *env, int id) {
+    while (env) {
+        struct Obj *pair = env->a;
+        if (pair->a->num == id) return pair->b;
+        env = env->b;
+    }
+    trapfail();
+    return 0;
+}
+
+void trapfail(void) { emit_int(-999); exit(1); }
+
+struct Obj *eval(struct Obj *e, struct Obj *env);
+
+struct Obj *apply(struct Obj *fn, struct Obj *arg) {
+    /* closure: a = (param body), b = captured env */
+    struct Obj *param = fn->a->a;
+    struct Obj *body = fn->a->b->a;
+    struct Obj *frame = cons(cons(param, arg), fn->b);
+    return eval(body, frame);
+}
+
+struct Obj *eval(struct Obj *e, struct Obj *env) {
+    if (e->tag == 0) return e;               /* number */
+    if (e->tag == 1) return lookup(env, e->num);
+    /* cons: special forms and applications */
+    struct Obj *head = e->a;
+    if (head->tag == 1) {
+        int id = head->num;
+        if (id == SYM_QUOTE) return e->b->a;
+        if (id == SYM_IF) {
+            struct Obj *c = eval(e->b->a, env);
+            if (c->num != 0) return eval(e->b->b->a, env);
+            return eval(e->b->b->b->a, env);
+        }
+        if (id == SYM_LAMBDA) {
+            /* (lambda param body) -> closure capturing env */
+            return mk(3, 0, cons(e->b->a, cons(e->b->b->a, 0)), env);
+        }
+        if (id == SYM_ADD || id == SYM_SUB || id == SYM_MUL ||
+            id == SYM_LT || id == SYM_LE) {
+            struct Obj *x = eval(e->b->a, env);
+            struct Obj *y = eval(e->b->b->a, env);
+            if (id == SYM_ADD) return num(x->num + y->num);
+            if (id == SYM_SUB) return num(x->num - y->num);
+            if (id == SYM_MUL) return num(x->num * y->num);
+            if (id == SYM_LT) return num(x->num < y->num);
+            return num(x->num <= y->num);
+        }
+    }
+    /* application: (f arg) */
+    struct Obj *fn = eval(head, env);
+    struct Obj *arg = eval(e->b->a, env);
+    if (fn->tag != 3) trapfail();
+    return apply(fn, arg);
+}
+
+int list_length(struct Obj *l) {
+    int n = 0;
+    while (l) { n++; l = l->b; }
+    return n;
+}
+
+int main() {
+    SYM_N = 1; SYM_FIB = 2; SYM_FACT = 3;
+    SYM_IF = 11; SYM_QUOTE = 12; SYM_LAMBDA = 13;
+    SYM_ADD = 21; SYM_SUB = 22; SYM_MUL = 23; SYM_LT = 24; SYM_LE = 25;
+
+    /* fib = (lambda n (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) */
+    struct Obj *fib_body = list4(
+        sym(SYM_IF),
+        list3(sym(SYM_LT), sym(SYM_N), num(2)),
+        sym(SYM_N),
+        list3(sym(SYM_ADD),
+              list2(sym(SYM_FIB),
+                    list3(sym(SYM_SUB), sym(SYM_N), num(1))),
+              list2(sym(SYM_FIB),
+                    list3(sym(SYM_SUB), sym(SYM_N), num(2)))));
+    struct Obj *fib_expr = list3(sym(SYM_LAMBDA), sym(SYM_N), fib_body);
+
+    /* fact = (lambda n (if (<= n 1) 1 (* n (fact (- n 1))))) */
+    struct Obj *fact_body = list4(
+        sym(SYM_IF),
+        list3(sym(SYM_LE), sym(SYM_N), num(1)),
+        num(1),
+        list3(sym(SYM_MUL), sym(SYM_N),
+              list2(sym(SYM_FACT),
+                    list3(sym(SYM_SUB), sym(SYM_N), num(1)))));
+    struct Obj *fact_expr = list3(sym(SYM_LAMBDA), sym(SYM_N), fact_body);
+
+    /* global environment with recursive bindings (cyclic env links) */
+    struct Obj *genv = 0;
+    struct Obj *fib_clo = eval(fib_expr, genv);
+    struct Obj *fact_clo = eval(fact_expr, genv);
+    genv = cons(cons(sym(SYM_FIB), fib_clo), genv);
+    genv = cons(cons(sym(SYM_FACT), fact_clo), genv);
+    fib_clo->b = genv;   /* tie the knot: closures see the global env */
+    fact_clo->b = genv;
+
+    emit_int(eval(list2(sym(SYM_FIB), num(10)), genv)->num);
+    emit_int(eval(list2(sym(SYM_FACT), num(9)), genv)->num);
+
+    /* build a 24-element list through the interpreter's cons cells */
+    struct Obj *l = 0;
+    int i;
+    for (i = 0; i < 24; i++) l = cons(num(i), l);
+    emit_int(list_length(l));
+    return 0;
+}
+"""

@@ -1,0 +1,50 @@
+"""The benchmark suite: the four SPEC92 analogues, compiled on demand.
+
+Provides cached compilation (per optimization level / register count) so
+the evaluation harness and tests don't recompile per configuration, and
+a uniform way to validate any run's output against the workload's
+independent Python oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.compiler import CompileOptions, compile_and_link
+from repro.omnivm.linker import LinkedProgram
+from repro.workloads import alvinn, compress, eqntott, li
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    source: str
+    expected: tuple
+
+
+def _freeze(values: list[object]) -> tuple:
+    return tuple(values)
+
+
+WORKLOADS: dict[str, Workload] = {
+    module.NAME: Workload(module.NAME, module.SOURCE,
+                          _freeze(module.expected_output()))
+    for module in (li, compress, alvinn, eqntott)
+}
+
+WORKLOAD_NAMES = ("li", "compress", "alvinn", "eqntott")
+
+
+@lru_cache(maxsize=64)
+def build(name: str, opt_level: int = 2, num_regs: int = 16) -> LinkedProgram:
+    """Compile one workload to a linked OmniVM module (cached)."""
+    workload = WORKLOADS[name]
+    options = CompileOptions(opt_level=opt_level, num_regs=num_regs,
+                             module_name=name)
+    return compile_and_link([workload.source], options)
+
+
+def check_output(name: str, values: list[object]) -> bool:
+    """Compare a run's emitted values against the Python oracle."""
+    return tuple(values) == WORKLOADS[name].expected

@@ -1,0 +1,46 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_and_link
+from repro.runtime.host import Host
+from repro.runtime.loader import run_module
+from repro.runtime.native_loader import run_on_target
+from repro.translators import ARCHITECTURES
+from repro.native.profiles import MOBILE_SFI
+
+
+def compile_run(source: str, entry: str = "main",
+                host: Host | None = None, **options):
+    """Compile MiniC source and run it on the reference interpreter.
+
+    Returns (exit_code, host).
+    """
+    program = compile_and_link([source], CompileOptions(**options))
+    return run_module(program, entry if entry != "main" else None, host)
+
+
+def run_everywhere(source: str, **options) -> dict[str, list[object]]:
+    """Run a program on the interpreter and all four targets (SFI on);
+    returns outputs per engine (the caller typically asserts equality)."""
+    program = compile_and_link([source], CompileOptions(**options))
+    outputs: dict[str, list[object]] = {}
+    _code, host = run_module(program)
+    outputs["omnivm"] = host.output_values()
+    for arch in ARCHITECTURES:
+        _code, module = run_on_target(program, arch, MOBILE_SFI)
+        outputs[arch] = module.host.output_values()
+    return outputs
+
+
+@pytest.fixture
+def minic():
+    """Fixture: compile-and-run helper returning emitted values."""
+
+    def runner(source: str, **options) -> list[object]:
+        _code, host = compile_run(source, **options)
+        return host.output_values()
+
+    return runner

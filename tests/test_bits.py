@@ -1,0 +1,126 @@
+"""Unit and property tests for 32-bit arithmetic helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import bits
+
+u32s = st.integers(min_value=0, max_value=2**32 - 1)
+s32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+anyints = st.integers(min_value=-(2**40), max_value=2**40)
+
+
+class TestConversions:
+    def test_u32_truncates(self):
+        assert bits.u32(2**32) == 0
+        assert bits.u32(-1) == 0xFFFFFFFF
+        assert bits.u32(0x1_2345_6789) == 0x2345_6789
+
+    def test_s32_sign(self):
+        assert bits.s32(0x7FFFFFFF) == 2**31 - 1
+        assert bits.s32(0x80000000) == -(2**31)
+        assert bits.s32(0xFFFFFFFF) == -1
+
+    @given(anyints)
+    def test_s32_u32_same_bits(self, value):
+        assert bits.u32(bits.s32(value)) == bits.u32(value)
+
+    @given(u32s)
+    def test_s32_roundtrip(self, value):
+        assert bits.u32(bits.s32(value)) == value
+
+    def test_subword(self):
+        assert bits.s8(0xFF) == -1
+        assert bits.u8(-1) == 0xFF
+        assert bits.s16(0x8000) == -0x8000
+        assert bits.u16(-1) == 0xFFFF
+
+    @given(anyints, st.integers(min_value=1, max_value=31))
+    def test_sext(self, value, width):
+        result = bits.sext(value, width)
+        assert -(1 << (width - 1)) <= result < (1 << (width - 1))
+        assert (result - value) % (1 << width) == 0
+
+
+class TestArithmetic:
+    @given(u32s, u32s)
+    def test_add_sub_inverse(self, a, b):
+        assert bits.sub32(bits.add32(a, b), b) == a
+
+    @given(s32s, s32s)
+    def test_div_c_semantics(self, a, b):
+        if b == 0:
+            with pytest.raises(ZeroDivisionError):
+                bits.div32(bits.u32(a), bits.u32(b))
+            return
+        quotient = bits.s32(bits.div32(bits.u32(a), bits.u32(b)))
+        # C: truncation toward zero (int(a/b) except the overflow corner).
+        if not (a == -(2**31) and b == -1):
+            assert quotient == int(a / b)
+
+    @given(s32s, s32s)
+    def test_rem_sign_follows_dividend(self, a, b):
+        if b == 0:
+            return
+        if a == -(2**31) and b == -1:
+            return
+        remainder = bits.s32(bits.rem32(bits.u32(a), bits.u32(b)))
+        assert a == bits.s32(
+            bits.add32(bits.mul32(bits.div32(bits.u32(a), bits.u32(b)),
+                                  bits.u32(b)), bits.u32(remainder))
+        )
+        if remainder:
+            assert (remainder < 0) == (a < 0)
+
+    @given(u32s, st.integers(min_value=0, max_value=64))
+    def test_shifts_mask_amount(self, a, shift):
+        assert bits.sll32(a, shift) == bits.sll32(a, shift & 31)
+        assert bits.srl32(a, shift) == bits.srl32(a, shift & 31)
+        assert bits.sra32(a, shift) == bits.sra32(a, shift & 31)
+
+    @given(u32s)
+    def test_sra_sign_fill(self, a):
+        result = bits.sra32(a, 31)
+        assert result == (0xFFFFFFFF if a & 0x80000000 else 0)
+
+    def test_divu_remu(self):
+        assert bits.divu32(0xFFFFFFFF, 2) == 0x7FFFFFFF
+        assert bits.remu32(0xFFFFFFFF, 10) == 0xFFFFFFFF % 10
+
+
+class TestFloats:
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_f32_bits_roundtrip(self, value):
+        assert bits.bits_to_f32(bits.f32_to_bits(value)) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_f64_bits_roundtrip(self, value):
+        assert bits.bits_to_f64(bits.f64_to_bits(value)) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_round_f32_idempotent(self, value):
+        once = bits.round_f32(value)
+        assert bits.round_f32(once) == once
+
+
+class TestAlignment:
+    @given(st.integers(min_value=0, max_value=2**30),
+           st.sampled_from([1, 2, 4, 8, 16]))
+    def test_align_up(self, value, alignment):
+        result = bits.align_up(value, alignment)
+        assert result >= value
+        assert result % alignment == 0
+        assert result - value < alignment
+
+    def test_log2_exact(self):
+        assert bits.log2_exact(1) == 0
+        assert bits.log2_exact(4096) == 12
+        with pytest.raises(ValueError):
+            bits.log2_exact(12)
+
+    def test_is_power_of_two(self):
+        assert bits.is_power_of_two(1)
+        assert bits.is_power_of_two(2**31)
+        assert not bits.is_power_of_two(0)
+        assert not bits.is_power_of_two(3)

@@ -1,0 +1,107 @@
+"""The omnicc command-line toolchain."""
+
+import pytest
+
+from repro.cli import main
+
+HELLO = 'int main() { emit_str("hi\\n"); emit_int(41 + 1); return 0; }'
+LISP = "(defun main () (emit (* 6 7)) 0)"
+ASM = """
+    .text
+    .globl main
+main:
+    li r1, 9
+    hostcall 1
+    li r1, 0
+    jr ra
+"""
+
+
+@pytest.fixture
+def src(tmp_path):
+    path = tmp_path / "hello.c"
+    path.write_text(HELLO)
+    return path
+
+
+class TestCompileAndRun:
+    def test_compile_produces_object(self, src, tmp_path, capsys):
+        out = tmp_path / "hello.oof"
+        assert main(["compile", str(src), "-o", str(out)]) == 0
+        assert out.exists() and out.read_bytes()[:4] == b"OOF1"
+        assert "OmniVM instructions" in capsys.readouterr().out
+
+    def test_run_source_on_interpreter(self, src, capsys):
+        code = main(["run", str(src)])
+        assert code == 0
+        assert capsys.readouterr().out == "hi\n42"
+
+    @pytest.mark.parametrize("arch", ["mips", "x86"])
+    def test_run_source_on_target(self, src, arch, capsys):
+        code = main(["run", str(src), "--arch", arch, "--cycles"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out == "hi\n42"
+        assert "cycles=" in captured.err
+
+    def test_compile_then_run_object(self, src, tmp_path, capsys):
+        out = tmp_path / "hello.oof"
+        main(["compile", str(src), "-o", str(out)])
+        capsys.readouterr()
+        assert main(["run", str(out)]) == 0
+        assert capsys.readouterr().out == "hi\n42"
+
+    def test_lisp_frontend(self, tmp_path, capsys):
+        path = tmp_path / "prog.lisp"
+        path.write_text(LISP)
+        assert main(["run", str(path)]) == 0
+        assert "42" in capsys.readouterr().out
+
+    def test_asm_frontend(self, tmp_path, capsys):
+        path = tmp_path / "prog.s"
+        path.write_text(ASM)
+        obj = tmp_path / "prog.oof"
+        assert main(["asm", str(path), "-o", str(obj)]) == 0
+        capsys.readouterr()
+        assert main(["run", str(obj)]) == 0
+        assert "9" in capsys.readouterr().out
+
+
+class TestLink:
+    def test_link_two_objects(self, tmp_path, capsys):
+        a = tmp_path / "a.c"
+        a.write_text("extern int helper(void);"
+                     "int main() { emit_int(helper()); return 0; }")
+        b = tmp_path / "b.c"
+        b.write_text("int helper(void) { return 7; }")
+        oa, ob = tmp_path / "a.oof", tmp_path / "b.oof"
+        main(["compile", str(a), "-o", str(oa)])
+        main(["compile", str(b), "-o", str(ob)])
+        module = tmp_path / "prog.oom"
+        assert main(["link", str(oa), str(ob), "-o", str(module)]) == 0
+        capsys.readouterr()
+        assert main(["run", str(module)]) == 0
+        assert "7" in capsys.readouterr().out
+
+
+class TestDisasm:
+    def test_disasm_lists_functions(self, src, capsys):
+        assert main(["disasm", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "main:" in out and "hostcall" in out
+
+
+class TestErrors:
+    def test_compile_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main( {")
+        assert main(["compile", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "nonexistent.c"]) == 1
+
+    def test_exit_code_propagates(self, tmp_path):
+        path = tmp_path / "m.c"
+        path.write_text("int main() { return 5; }")
+        assert main(["run", str(path)]) == 5

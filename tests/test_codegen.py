@@ -1,0 +1,181 @@
+"""OmniVM code generation: ABI, frames, addressing, spills.
+
+These tests inspect the generated OmniVM instructions directly (not just
+behaviour), pinning the code-generation contracts the translators and
+the SFI exemption rely on — e.g. "sp only moves by small constants" and
+"array accesses use the indexed addressing mode".
+"""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_and_link, compile_to_object
+from repro.omnivm.isa import REG_RA, REG_SP
+from repro.runtime.loader import run_module
+
+
+def text_of(source, name=None, **options):
+    obj = compile_to_object(source, CompileOptions(**options))
+    if name is None:
+        return obj.text
+    symbols = {s.name: s.offset // 8 for s in obj.symbols
+               if s.section == "text" and s.is_global}
+    start = symbols[name]
+    following = [o for o in symbols.values() if o > start]
+    end = min(following) if following else len(obj.text)
+    return obj.text[start:end]
+
+
+class TestFrameDiscipline:
+    def test_sp_only_moves_by_constants(self):
+        # Contract required by the SFI sp-store exemption.
+        text = text_of("""
+        int helper(int n) { int buf[32]; buf[n] = 1; return buf[0]; }
+        int main() { return helper(3); }
+        """)
+        for instr in text:
+            writes_sp = REG_SP in instr.int_writes()
+            if writes_sp:
+                assert instr.op == "addi" and instr.rs == REG_SP
+                assert -32768 <= instr.imm <= 32767
+
+    def test_leaf_saves_ra_only_when_needed(self):
+        leaf = text_of("int f(int a) { return a + 1; } int main() { return f(1); }",
+                       name="f")
+        # A tiny leaf still stores ra in this simple prologue model, but
+        # never more than one ra save/restore pair.
+        ra_saves = [i for i in leaf if i.op == "sw" and i.rt == REG_RA]
+        assert len(ra_saves) <= 1
+
+    def test_epilogue_restores_and_returns(self):
+        text = text_of("int f() { return 7; } int main() { return f(); }",
+                       name="f")
+        assert text[-1].op == "jr" and text[-1].rs == REG_RA
+
+    def test_callee_saved_round_trip(self):
+        source = """
+        int g(int a) { return a; }
+        int f(int a) {
+            int keep1 = a * 3; int keep2 = a * 5; int keep3 = a * 7;
+            g(1); g(2);
+            return keep1 + keep2 + keep3;
+        }
+        int main() { emit_int(f(2)); return 0; }
+        """
+        text = text_of(source, name="f")
+        saved = {i.rt for i in text if i.op == "sw" and 8 <= i.rt <= 13}
+        restored = {i.rd for i in text if i.op == "lw" and 8 <= i.rd <= 13}
+        assert saved and saved <= restored
+        _code, host = run_module(compile_and_link([source]))
+        assert host.output_values() == [2 * (3 + 5 + 7)]
+
+
+class TestAddressingSelection:
+    def test_array_index_uses_indexed_mode(self):
+        text = text_of("""
+        int a[64];
+        int f(int i) { return a[i]; }
+        int main() { return f(1); }
+        """, name="f")
+        assert any(i.op == "lwx" for i in text)
+
+    def test_struct_field_uses_offset(self):
+        text = text_of("""
+        struct S { int a; int b; int c; };
+        int f(struct S *s) { return s->c; }
+        int main() { return 0; }
+        """, name="f")
+        loads = [i for i in text if i.op == "lw" and i.imm == 8]
+        assert loads
+
+    def test_compare_and_branch_immediate_form(self):
+        text = text_of("""
+        int f(int n) { if (n < 10) return 1; return 2; }
+        int main() { return f(3); }
+        """, name="f")
+        assert any(i.op in ("bgei", "blti") and i.imm2 == 10 for i in text)
+
+    def test_large_branch_constant_falls_back_to_register(self):
+        text = text_of("""
+        int f(int n) { if (n < 2000000) return 1; return 2; }
+        int main() { return f(3); }
+        """, name="f")
+        # 2000000 exceeds the 18-bit imm2 field.
+        assert not any(i.spec.kind == "branchi" and i.imm2 == 2000000
+                       for i in text)
+        assert any(i.op == "li" and i.imm == 2000000 for i in text)
+
+
+class TestRegisterPressure:
+    def test_spill_code_correct_under_tiny_file(self):
+        source = """
+        int main() {
+            int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+            int f = 6; int g = 7; int h = 8; int i = 9; int j = 10;
+            int k = a*b + c*d + e*f + g*h + i*j;
+            emit_int(k + a + b + c + d + e + f + g + h + i + j);
+            return 0;
+        }
+        """
+        expected_k = 1 * 2 + 3 * 4 + 5 * 6 + 7 * 8 + 9 * 10
+        expected = expected_k + sum(range(1, 11))
+        for num_regs in (8, 10, 12, 16):
+            _code, host = run_module(
+                compile_and_link([source], CompileOptions(num_regs=num_regs))
+            )
+            assert host.output_values() == [expected], num_regs
+
+    def test_smaller_file_emits_more_code(self):
+        # Many simultaneously-live values derived from a runtime input
+        # (so constant folding cannot collapse them).
+        source = """
+        int f(int x) {
+            int a = x*2; int b = x*3; int c = x*5; int d = x*7;
+            int e = x*11; int g = x*13; int h = x*17; int i = x*19;
+            int j = x*23; int k = x*29;
+            return a*b + c*d + e*g + h*i + j*k + a*k + b*j + c*i;
+        }
+        int main() { emit_int(f(3)); return 0; }
+        """
+        small = len(text_of(source, num_regs=8, name="f"))
+        large = len(text_of(source, num_regs=16, name="f"))
+        assert small > large
+
+
+class TestABICorners:
+    def test_argument_register_cycles(self):
+        # f(b, a) from f(a, b): a swap through the move graph.
+        source = """
+        int rot(int a, int b, int c) {
+            if (a == 0) return b * 100 + c * 10 + a;
+            return rot(a - 1, c, b);
+        }
+        int main() { emit_int(rot(3, 1, 2)); return 0; }
+        """
+        _code, host = run_module(compile_and_link([source]))
+        def rot(a, b, c):
+            return b * 100 + c * 10 + a if a == 0 else rot(a - 1, c, b)
+        assert host.output_values() == [rot(3, 1, 2)]
+
+    def test_fp_and_int_args_interleaved_deep(self):
+        source = """
+        double mix(int a, double x, int b, double y, int c, double z) {
+            return a * x + b * y + c * z;
+        }
+        int main() { emit_double(mix(1, 0.5, 2, 0.25, 3, 0.125)); return 0; }
+        """
+        _code, host = run_module(compile_and_link([source]))
+        assert host.output_values() == [1 * 0.5 + 2 * 0.25 + 3 * 0.125]
+
+    def test_return_value_through_deep_recursion(self):
+        source = """
+        double chain(int n) {
+            if (n == 0) return 1.0;
+            return chain(n - 1) * 1.0625;
+        }
+        int main() { emit_double(chain(64)); return 0; }
+        """
+        _code, host = run_module(compile_and_link([source]))
+        expected = 1.0
+        for _ in range(64):
+            expected *= 1.0625  # same rounding order as the program
+        assert host.output_values() == [expected]

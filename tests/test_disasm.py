@@ -1,0 +1,53 @@
+"""Disassembler and IR printer round trips."""
+
+from repro.compiler import CompileOptions, compile_and_link, compile_to_ir
+from repro.ir.printer import function_to_text, summarize
+from repro.omnivm.disasm import disassemble_bytes, disassemble_program
+
+
+def test_disassemble_bytes_roundtrip():
+    program = compile_and_link(["int main() { return 3; }"])
+    listing = disassemble_bytes(program.text_image)
+    assert "li" in listing
+    assert "jr" in listing
+    assert listing.count("\n") + 1 == len(program.instrs)
+
+
+def test_disassemble_program_symbols_and_targets():
+    program = compile_and_link(["""
+    int helper(int a) { return a + 1; }
+    int main() { return helper(4); }
+    """])
+    listing = disassemble_program(program)
+    assert "helper:" in listing and "main:" in listing
+    assert "; -> helper" in listing  # annotated call target
+
+
+def test_disassemble_single_function():
+    program = compile_and_link(["""
+    int helper(int a) { return a + 1; }
+    int main() { return helper(4); }
+    """])
+    listing = disassemble_program(program, function="helper")
+    assert "helper:" in listing
+    assert "main:" not in listing
+
+
+def test_ir_printer_stable():
+    module = compile_to_ir("int f(int a) { return a * 2; }",
+                           CompileOptions())
+    text1 = function_to_text(module.function("f"))
+    module2 = compile_to_ir("int f(int a) { return a * 2; }",
+                            CompileOptions())
+    text2 = function_to_text(module2.function("f"))
+    assert text1 == text2
+    assert "func @f" in text1
+
+
+def test_ir_summarize():
+    module = compile_to_ir("int f(int a, int b) { return a * b + a; }",
+                           CompileOptions())
+    counts = summarize(module)["f"]
+    assert counts.get("bin.mul") == 1
+    assert counts.get("bin.add") == 1
+    assert counts.get("ret") == 1

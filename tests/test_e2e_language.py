@@ -1,0 +1,348 @@
+"""End-to-end language semantics: compile MiniC, run on the reference VM,
+compare against hand-computed (or Python-computed) results.
+
+These are the compiler's primary correctness tests — every operator,
+control construct, and data-layout feature gets a behavioural check.
+"""
+
+import pytest
+
+from tests.conftest import compile_run
+
+
+def run_values(source, **options):
+    _code, host = compile_run(source, **options)
+    return host.output_values()
+
+
+def expr_program(expr, decls=""):
+    return f"{decls}\nint main() {{ emit_int({expr}); return 0; }}"
+
+
+class TestIntegerOperators:
+    @pytest.mark.parametrize("expr,expected", [
+        ("7 + 3", 10), ("7 - 13", -6), ("6 * 7", 42),
+        ("17 / 5", 3), ("-17 / 5", -3), ("17 % 5", 2), ("-17 % 5", -2),
+        ("1 << 10", 1024), ("-8 >> 1", -4),
+        ("0xF0 & 0x3C", 0x30), ("0xF0 | 0x0F", 0xFF), ("0xFF ^ 0x0F", 0xF0),
+        ("~0", -1), ("-(5)", -5), ("!3", 0), ("!0", 1),
+        ("5 > 3", 1), ("5 < 3", 0), ("5 >= 5", 1), ("5 <= 4", 0),
+        ("5 == 5", 1), ("5 != 5", 0),
+        ("1 ? 10 : 20", 10), ("0 ? 10 : 20", 20),
+    ])
+    def test_expression(self, expr, expected):
+        assert run_values(expr_program(expr)) == [expected]
+
+    def test_signed_overflow_wraps(self):
+        assert run_values(expr_program("2147483647 + 1")) == [-2147483648]
+
+    def test_unsigned_division(self):
+        src = expr_program("(int)(u / 2u)", "uint u = 0x80000000;")
+        assert run_values(src) == [0x40000000]
+
+    def test_unsigned_comparison(self):
+        src = expr_program("u > 0x7FFFFFFF", "uint u = 0x80000000;")
+        assert run_values(src) == [1]
+
+    def test_unsigned_shift_right(self):
+        src = expr_program("(int)(u >> 31)", "uint u = 0x80000000;")
+        assert run_values(src) == [1]
+
+    def test_shift_amount_masked(self):
+        assert run_values(expr_program("1 << 33")) == [2]
+
+
+class TestShortCircuit:
+    def test_and_skips_rhs(self):
+        src = """
+        int calls;
+        int bump() { calls++; return 1; }
+        int main() {
+            calls = 0;
+            int r = 0 && bump();
+            emit_int(r); emit_int(calls);
+            r = 2 && bump();
+            emit_int(r); emit_int(calls);
+            return 0;
+        }
+        """
+        assert run_values(src) == [0, 0, 1, 1]
+
+    def test_or_skips_rhs(self):
+        src = """
+        int calls;
+        int bump() { calls++; return 0; }
+        int main() {
+            calls = 0;
+            emit_int(3 || bump());
+            emit_int(calls);
+            emit_int(0 || bump());
+            emit_int(calls);
+            return 0;
+        }
+        """
+        assert run_values(src) == [1, 0, 0, 1]
+
+
+class TestControlFlow:
+    def test_nested_loops_break_continue(self):
+        src = """
+        int main() {
+            int total = 0;
+            int i; int j;
+            for (i = 0; i < 5; i++) {
+                if (i == 3) continue;
+                for (j = 0; j < 5; j++) {
+                    if (j > i) break;
+                    total += 10 * i + j;
+                }
+            }
+            emit_int(total);
+            return 0;
+        }
+        """
+        total = 0
+        for i in range(5):
+            if i == 3:
+                continue
+            for j in range(5):
+                if j > i:
+                    break
+                total += 10 * i + j
+        assert run_values(src) == [total]
+
+    def test_do_while_runs_once(self):
+        src = """
+        int main() {
+            int n = 0;
+            do { n++; } while (0);
+            emit_int(n);
+            return 0;
+        }
+        """
+        assert run_values(src) == [1]
+
+    def test_comma_and_empty_for(self):
+        src = """
+        int main() {
+            int i = 0; int s = 0;
+            for (;;) { s += i, i++; if (i == 4) break; }
+            emit_int(s);
+            return 0;
+        }
+        """
+        assert run_values(src) == [0 + 1 + 2 + 3]
+
+    def test_deep_recursion(self):
+        src = """
+        int depth(int n) { if (n == 0) return 0; return 1 + depth(n - 1); }
+        int main() { emit_int(depth(200)); return 0; }
+        """
+        assert run_values(src) == [200]
+
+    def test_mutual_recursion(self):
+        src = """
+        int is_odd(int n);
+        int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+        int main() { emit_int(is_even(10)); emit_int(is_odd(7)); return 0; }
+        """
+        assert run_values(src) == [1, 1]
+
+
+class TestDataLayout:
+    def test_subword_store_load(self):
+        src = """
+        char c; short s;
+        int main() {
+            c = (char) 300;      /* truncates to 44 */
+            s = (short) 70000;   /* truncates to 4464 */
+            emit_int(c); emit_int(s);
+            c = (char) -1; emit_int(c);
+            return 0;
+        }
+        """
+        assert run_values(src) == [44, 4464, -1]
+
+    def test_struct_fields_and_padding(self):
+        src = """
+        struct Mixed { char tag; int value; double weight; };
+        int main() {
+            struct Mixed m;
+            m.tag = 'x'; m.value = 77; m.weight = 2.5;
+            emit_int(sizeof(struct Mixed));
+            emit_int(m.tag); emit_int(m.value); emit_double(m.weight);
+            return 0;
+        }
+        """
+        assert run_values(src) == [16, 120, 77, 2.5]
+
+    def test_array_of_structs(self):
+        src = """
+        struct Pt { int x; int y; };
+        struct Pt pts[3];
+        int main() {
+            int i;
+            for (i = 0; i < 3; i++) { pts[i].x = i; pts[i].y = i * i; }
+            int s = 0;
+            for (i = 0; i < 3; i++) s += pts[i].x + pts[i].y;
+            emit_int(s);
+            return 0;
+        }
+        """
+        assert run_values(src) == [0 + 0 + 1 + 1 + 2 + 4]
+
+    def test_2d_array(self):
+        src = """
+        int m[3][4];
+        int main() {
+            int i; int j;
+            for (i = 0; i < 3; i++)
+                for (j = 0; j < 4; j++)
+                    m[i][j] = 10 * i + j;
+            emit_int(m[2][3]); emit_int(m[0][0]); emit_int(m[1][2]);
+            return 0;
+        }
+        """
+        assert run_values(src) == [23, 0, 12]
+
+    def test_pointer_walk(self):
+        src = """
+        int a[5] = {2, 3, 5, 7, 11};
+        int main() {
+            int *p = a;
+            int *end = a + 5;
+            int s = 0;
+            while (p < end) { s += *p; p++; }
+            emit_int(s);
+            emit_int((int)(end - a));
+            return 0;
+        }
+        """
+        assert run_values(src) == [28, 5]
+
+    def test_global_initializers(self):
+        src = """
+        int x = -7;
+        uint u = 0xCAFEBABE;
+        double d = 0.125;
+        short sh = -2;
+        char ch = 'A';
+        int arr[4] = {1, -2, 3, -4};
+        int main() {
+            emit_int(x); emit_uint(u); emit_double(d);
+            emit_int(sh); emit_int(ch);
+            emit_int(arr[1] + arr[3]);
+            return 0;
+        }
+        """
+        assert run_values(src) == [-7, 0xCAFEBABE, 0.125, -2, 65, -6]
+
+    def test_address_relocation_in_data(self):
+        src = """
+        int target = 99;
+        int *ptr = &target;
+        int main() { emit_int(*ptr); return 0; }
+        """
+        assert run_values(src) == [99]
+
+
+class TestFloats:
+    def test_double_arithmetic(self):
+        src = """
+        int main() {
+            double a = 1.5; double b = 0.25;
+            emit_double(a + b); emit_double(a - b);
+            emit_double(a * b); emit_double(a / b);
+            emit_double(-a);
+            return 0;
+        }
+        """
+        assert run_values(src) == [1.75, 1.25, 0.375, 6.0, -1.5]
+
+    def test_float_rounds_to_single(self):
+        src = """
+        int main() {
+            float f = 0.1f;
+            double d = f;
+            emit_int(d == 0.1);  /* 0: f32 rounding differs from f64 */
+            return 0;
+        }
+        """
+        assert run_values(src) == [0]
+
+    def test_conversions(self):
+        src = """
+        int main() {
+            emit_int((int) 3.99);
+            emit_int((int) -3.99);
+            emit_double((double) 7);
+            double big = 4000000000.0;
+            emit_uint((uint) big);
+            return 0;
+        }
+        """
+        assert run_values(src) == [3, -3, 7.0, 4000000000]
+
+    def test_float_compare_branches(self):
+        src = """
+        int main() {
+            double a = 0.5; double b = 0.75;
+            if (a < b) emit_int(1); else emit_int(0);
+            if (a == a) emit_int(2);
+            if (a >= b) emit_int(3); else emit_int(4);
+            if (a != b) emit_int(5);
+            return 0;
+        }
+        """
+        assert run_values(src) == [1, 2, 4, 5]
+
+
+class TestFunctions:
+    def test_many_arguments_spill_to_stack(self):
+        src = """
+        int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+            return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g + 8*h;
+        }
+        int main() { emit_int(sum8(1, 2, 3, 4, 5, 6, 7, 8)); return 0; }
+        """
+        expected = sum((i + 1) * v for i, v in enumerate(range(1, 9)))
+        assert run_values(src) == [expected]
+
+    def test_mixed_int_fp_args(self):
+        src = """
+        double mix(int a, double x, int b, double y) {
+            return a * x + b * y;
+        }
+        int main() { emit_double(mix(2, 1.5, 3, 0.5)); return 0; }
+        """
+        assert run_values(src) == [4.5]
+
+    def test_function_pointer_table(self):
+        src = """
+        int add(int a, int b) { return a + b; }
+        int sub(int a, int b) { return a - b; }
+        int mul(int a, int b) { return a * b; }
+        int (*ops[3])(int, int);
+        int main() {
+            ops[0] = add; ops[1] = sub; ops[2] = mul;
+            int i;
+            for (i = 0; i < 3; i++) emit_int(ops[i](10, 3));
+            return 0;
+        }
+        """
+        assert run_values(src) == [13, 7, 30]
+
+    def test_recursion_with_doubles(self):
+        src = """
+        double power(double base, int n) {
+            if (n == 0) return 1.0;
+            return base * power(base, n - 1);
+        }
+        int main() { emit_double(power(2.0, 10)); return 0; }
+        """
+        assert run_values(src) == [1024.0]
+
+    def test_exit_code_is_main_return(self):
+        code, _host = compile_run("int main() { return 42; }")
+        assert code == 42

@@ -1,0 +1,121 @@
+"""Evaluation-harness plumbing: caching, table assembly, rendering.
+
+These tests exercise the runner/table machinery WITHOUT paying for full
+workload simulations, by stubbing the execution layer.
+"""
+
+import json
+
+import pytest
+
+from repro.evalharness.runner import RunKey, Runner, RunResult
+from repro.evalharness.tables import PAPER_TABLE1, TableResult
+
+
+class StubRunner(Runner):
+    """Runner with a deterministic fake executor (no simulation)."""
+
+    def __init__(self, tmp_path):
+        self.executions = 0
+        super().__init__(cache_path=tmp_path / "cache.json")
+
+    def _execute(self, key: RunKey) -> RunResult:
+        self.executions += 1
+        base = {"mobile-sfi": 110, "mobile-nosfi": 100,
+                "native-cc": 95, "native-gcc": 100,
+                "interp": 50}[key.profile]
+        bump = (hash((key.workload, key.arch)) % 7)
+        return RunResult(key, base * 100 + bump, base * 90, 5000,
+                         {"sfi": 10, "base": 90})
+
+    def omni_instret(self, workload, num_regs=16):
+        return 5000
+
+
+class TestRunnerCaching:
+    def test_memory_cache_prevents_reexecution(self, tmp_path):
+        runner = StubRunner(tmp_path)
+        key = RunKey("li", "mips", "mobile-sfi")
+        first = runner.run(key)
+        second = runner.run(key)
+        assert first is second
+        assert runner.executions == 1
+
+    def test_disk_cache_survives_new_runner(self, tmp_path):
+        runner = StubRunner(tmp_path)
+        key = RunKey("li", "mips", "mobile-sfi")
+        result = runner.run(key)
+        fresh = StubRunner(tmp_path)
+        restored = fresh.run(key)
+        assert fresh.executions == 0
+        assert restored.cycles == result.cycles
+        assert restored.categories == result.categories
+
+    def test_stale_stamp_invalidates(self, tmp_path):
+        runner = StubRunner(tmp_path)
+        runner.run(RunKey("li", "mips", "mobile-sfi"))
+        payload = json.loads((tmp_path / "cache.json").read_text())
+        payload["stamp"] = "0" * 16
+        (tmp_path / "cache.json").write_text(json.dumps(payload))
+        fresh = StubRunner(tmp_path)
+        fresh.run(RunKey("li", "mips", "mobile-sfi"))
+        assert fresh.executions == 1
+
+    def test_corrupt_cache_tolerated(self, tmp_path):
+        (tmp_path / "cache.json").write_text("{not json")
+        runner = StubRunner(tmp_path)
+        runner.run(RunKey("li", "mips", "mobile-sfi"))
+        assert runner.executions == 1
+
+    def test_distinct_keys_distinct_runs(self, tmp_path):
+        runner = StubRunner(tmp_path)
+        runner.run(RunKey("li", "mips", "mobile-sfi"))
+        runner.run(RunKey("li", "mips", "mobile-nosfi"))
+        runner.run(RunKey("li", "sparc", "mobile-sfi"))
+        runner.run(RunKey("li", "mips", "mobile-sfi", num_regs=8))
+        assert runner.executions == 4
+
+    def test_cycle_ratio(self, tmp_path):
+        runner = StubRunner(tmp_path)
+        ratio = runner.cycle_ratio("li", "mips", "mobile-sfi", "native-cc")
+        subject = runner.run(RunKey("li", "mips", "mobile-sfi")).cycles
+        baseline = runner.run(RunKey("li", "mips", "native-cc")).cycles
+        assert ratio == pytest.approx(subject / baseline)
+
+
+class TestTableRendering:
+    def _table(self):
+        table = TableResult("Test table", ("mips", "x86"),
+                            paper={"li": {"mips": 1.10, "x86": 1.11}})
+        table.ratios["li"] = {"mips": 1.07, "x86": 1.02}
+        table.ratios["compress"] = {"mips": 1.01, "x86": 0.99}
+        table.add_average()
+        return table
+
+    def test_average_row(self):
+        table = self._table()
+        assert table.ratios["average"]["mips"] == pytest.approx(1.04)
+
+    def test_render_contains_everything(self):
+        text = self._table().render()
+        assert "Test table" in text
+        assert "li" in text and "compress" in text and "average" in text
+        assert "1.07" in text
+        assert "paper reported" in text and "1.10" in text
+
+    def test_missing_cells_render_as_dash(self):
+        table = TableResult("t", ("a", "b"))
+        table.ratios["w"] = {"a": 1.0}
+        assert "-" in table.render()
+
+    def test_paper_reference_numbers_present(self):
+        # Guard against typos: the embedded paper numbers must match the
+        # published Table 1 averages (1.14, 1.05, 1.21, 1.11).
+        averages = {
+            arch: sum(PAPER_TABLE1[w][arch] for w in PAPER_TABLE1) / 4
+            for arch in ("mips", "sparc", "ppc", "x86")
+        }
+        assert averages["mips"] == pytest.approx(1.135, abs=0.01)
+        assert averages["sparc"] == pytest.approx(1.045, abs=0.01)
+        assert averages["ppc"] == pytest.approx(1.21, abs=0.01)
+        assert averages["x86"] == pytest.approx(1.11, abs=0.01)

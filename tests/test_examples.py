@@ -1,0 +1,52 @@
+"""The example applications run end-to-end and demonstrate their claims."""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    return buffer.getvalue()
+
+
+def test_quickstart():
+    out = run_example("quickstart")
+    assert "sum of squares 1..10 = 385" in out
+    assert "output ok=True" in out
+    assert out.count("output ok=True") == 4  # all targets
+    assert "access violation" in out
+    assert "store was contained" in out
+
+
+def test_mail_filter():
+    out = run_example("mail_filter")
+    assert "forwarded=3" in out
+    assert "URGENT: the omniware beta ships today" in out
+    assert "cheap spam" not in out.split("rejected")[0].replace(
+        "spam spam", "")  # spam message was filtered out of forwards
+    assert "rejected: module is not authorized to call 'gfx_draw'" in out
+
+
+def test_document_applet():
+    out = run_example("document_applet")
+    assert "wave drawn" in out
+    assert "handled access violation, cause=1" in out
+    assert "recovered=1" in out
+    assert out.count("#") > 50  # the canvas rendered
+
+
+def test_multi_language():
+    out = run_example("multi_language")
+    assert "lisp triangular(10)  = 55" in out
+    assert "asm  double(21)      = 42" in out
+    assert out.count("identical output = True") == 4

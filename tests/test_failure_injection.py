@@ -1,0 +1,117 @@
+"""Failure injection: corrupted modules, hostile inputs, resource limits.
+
+A mobile-code system's loader is an attack surface: these tests feed it
+truncated, bit-flipped, and deliberately malformed inputs and require a
+clean typed error every time — never a crash, hang, or silent
+misexecution.
+"""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_and_link, compile_to_object
+from repro.errors import (
+    EncodingError,
+    FuelExhausted,
+    LinkError,
+    ObjectFormatError,
+    ReproError,
+    VerifyError,
+)
+from repro.omnivm.encoding import decode_program
+from repro.omnivm.linker import link
+from repro.omnivm.objfile import ObjectModule
+from repro.runtime.loader import load_for_interpretation
+
+
+def sample_object() -> ObjectModule:
+    return compile_to_object("""
+    int data[4] = {1, 2, 3, 4};
+    int main() { emit_int(data[2]); return 0; }
+    """, CompileOptions(module_name="sample"))
+
+
+class TestCorruptObjects:
+    def test_truncations_never_crash(self):
+        blob = sample_object().to_bytes()
+        for cut in range(0, len(blob), 7):
+            with pytest.raises(ReproError):
+                ObjectModule.from_bytes(blob[:cut])
+
+    def test_bit_flips_rejected_or_structurally_valid(self):
+        blob = bytearray(sample_object().to_bytes())
+        flipped = 0
+        for position in range(4, len(blob), 11):
+            mutated = bytearray(blob)
+            mutated[position] ^= 0x40
+            try:
+                obj = ObjectModule.from_bytes(bytes(mutated))
+                # Structurally decodable garbage must then be caught by
+                # the linker or the load-time verifier, or be a benign
+                # data/symbol change; it must never crash Python.
+                try:
+                    program = link([obj])
+                    load_for_interpretation(program)
+                except ReproError:
+                    pass
+            except ReproError:
+                flipped += 1
+        assert flipped > 0  # plenty of positions break the format
+
+    def test_wrong_magic(self):
+        with pytest.raises(ObjectFormatError):
+            ObjectModule.from_bytes(b"ELF\x7f" + b"\x00" * 100)
+
+    def test_garbage_text_section(self):
+        with pytest.raises(EncodingError):
+            decode_program(b"\xff" * 16)
+
+
+class TestHostileModules:
+    def test_infinite_loop_bounded_by_fuel(self):
+        program = compile_and_link(["int main() { while (1) ; return 0; }"])
+        loaded = load_for_interpretation(program, fuel=50_000)
+        with pytest.raises(FuelExhausted):
+            loaded.run()
+
+    def test_runaway_recursion_faults_cleanly(self):
+        # Stack exhaustion walks off the stack segment into a guard hole.
+        from repro.errors import AccessViolation
+
+        program = compile_and_link(["""
+        int boom(int n) { int pad[64]; pad[0] = n; return boom(n + 1) + pad[0]; }
+        int main() { return boom(0); }
+        """])
+        loaded = load_for_interpretation(program, fuel=50_000_000)
+        with pytest.raises((AccessViolation, FuelExhausted)):
+            loaded.run()
+
+    def test_heap_exhaustion_returns_null_not_crash(self, minic):
+        values = minic("""
+        int main() {
+            int total = 0;
+            int i;
+            for (i = 0; i < 64; i++) {
+                int *p = (int *) halloc(1 << 20);
+                if (p == 0) { emit_int(i); return 0; }
+                total++;
+            }
+            emit_int(-1);
+            return 0;
+        }
+        """)
+        assert values[0] > 0  # some allocations succeeded, then NULL
+
+    def test_duplicate_entry_symbols_rejected(self):
+        a = compile_to_object("int main() { return 1; }",
+                              CompileOptions(module_name="a"))
+        b = compile_to_object("int main() { return 2; }",
+                              CompileOptions(module_name="b"))
+        with pytest.raises(LinkError):
+            link([a, b])
+
+    def test_module_without_main_cannot_start(self):
+        obj = compile_to_object("int helper() { return 1; }",
+                                CompileOptions(module_name="lib"))
+        program = link([obj])
+        with pytest.raises((LinkError, VerifyError)):
+            load_for_interpretation(program).run()

@@ -1,0 +1,223 @@
+"""Extended interpreter coverage: the opcodes the main tests don't hit
+(FP negate/abs/single ops, indexed FP/sub-word memory forms, unsigned
+conversions, storex variants, sethnd), plus differential spot checks
+against every target executor for the same forms.
+"""
+
+import pytest
+
+from repro.omnivm.asmparser import assemble
+from repro.omnivm.linker import link
+from repro.runtime.loader import load_for_interpretation
+from repro.runtime.native_loader import load_for_target
+from repro.native.profiles import MOBILE_SFI
+
+
+def run_asm(body, data=""):
+    source = f"""
+        .text
+        .globl main
+    main:
+    {body}
+        .data
+    {data}
+    """
+    program = link([assemble(source)])
+    loaded = load_for_interpretation(program)
+    code = loaded.run()
+    return code, loaded
+
+
+def run_asm_on(arch, body, data=""):
+    source = f"""
+        .text
+        .globl main
+    main:
+    {body}
+        .data
+    {data}
+    """
+    program = link([assemble(source)])
+    module = load_for_target(program, arch, MOBILE_SFI)
+    code = module.run()
+    return code, module
+
+
+class TestFPUnary:
+    BODY = """
+        li r2, @vals
+        lfd f1, r2, 0
+        fnegd f2, f1
+        fabsd f3, f2
+        faddd f1, f2, f3
+        hostcall 3
+        fmovd f1, f3
+        hostcall 3
+        li r1, 0
+        jr ra
+    """
+    DATA = "vals:\n  .double 2.5"
+
+    def test_interpreter(self):
+        _code, loaded = run_asm(self.BODY, self.DATA)
+        assert loaded.host.output_values() == [0.0, 2.5]
+
+    @pytest.mark.parametrize("arch", ["mips", "sparc", "ppc", "x86"])
+    def test_targets_agree(self, arch):
+        _code, module = run_asm_on(arch, self.BODY, self.DATA)
+        assert module.host.output_values() == [0.0, 2.5]
+
+
+class TestSinglePrecision:
+    BODY = """
+        li r2, @vals
+        lfs f1, r2, 0
+        lfs f2, r2, 4
+        fmuls f3, f1, f2
+        cvtds f1, f3
+        hostcall 3
+        li r3, @out
+        sfs f3, r3, 0
+        lfs f1, r3, 0
+        cvtds f1, f1
+        hostcall 3
+        li r1, 0
+        jr ra
+    """
+    DATA = """
+    vals:
+      .float 1.5
+      .float 2.5
+    out:
+      .float 0.0
+    """
+
+    def test_interpreter(self):
+        _code, loaded = run_asm(self.BODY, self.DATA)
+        assert loaded.host.output_values() == [3.75, 3.75]
+
+    @pytest.mark.parametrize("arch", ["mips", "ppc", "x86"])
+    def test_targets_agree(self, arch):
+        _code, module = run_asm_on(arch, self.BODY, self.DATA)
+        assert module.host.output_values() == [3.75, 3.75]
+
+
+class TestIndexedStores:
+    BODY = """
+        li r2, @arr
+        li r3, 4
+        li r4, 0x55
+        sbx r4, r2, r3       ; arr[4] = 0x55 (byte)
+        li r3, 6
+        li r4, 0x1234
+        shx r4, r2, r3       ; halfword at +6
+        li r3, 8
+        li r4, -9
+        swx r4, r2, r3       ; word at +8
+        lbux r1, r2, r3      ; reload pieces
+        li r3, 4
+        lbx r5, r2, r3
+        add r1, r1, r5
+        li r3, 6
+        lhux r5, r2, r3
+        add r1, r1, r5
+        jr ra
+    """
+    DATA = "arr:\n  .space 16"
+
+    def expected(self):
+        return ((-9) & 0xFF) + 0x55 + 0x1234
+
+    def test_interpreter(self):
+        code, _ = run_asm(self.BODY, self.DATA)
+        assert code == self.expected()
+
+    @pytest.mark.parametrize("arch", ["mips", "sparc", "ppc", "x86"])
+    def test_targets_agree(self, arch):
+        code, _ = run_asm_on(arch, self.BODY, self.DATA)
+        assert code == self.expected()
+
+
+class TestIndexedFPMemory:
+    BODY = """
+        li r2, @arr
+        li r3, 8
+        lfdx f1, r2, r3
+        faddd f1, f1, f1
+        li r3, 16
+        sfdx f1, r2, r3
+        lfd f1, r2, 16
+        hostcall 3
+        li r1, 0
+        jr ra
+    """
+    DATA = """
+    arr:
+      .double 0.0
+      .double 1.25
+      .double 0.0
+    """
+
+    def test_interpreter(self):
+        _code, loaded = run_asm(self.BODY, self.DATA)
+        assert loaded.host.output_values() == [2.5]
+
+    @pytest.mark.parametrize("arch", ["mips", "sparc", "ppc", "x86"])
+    def test_targets_agree(self, arch):
+        _code, module = run_asm_on(arch, self.BODY, self.DATA)
+        assert module.host.output_values() == [2.5]
+
+
+class TestUnsignedConversions:
+    BODY = """
+        li r2, 0xC0000000
+        cvtdwu f1, r2        ; 3221225472.0
+        hostcall 3
+        cvtwud r3, f1        ; back to u32
+        sgtui r1, r3, 0      ; r1 = (r3 > 0 unsigned)
+        beqi r3, 0, fail
+        li r1, 1
+        jr ra
+    fail:
+        li r1, 0
+        jr ra
+    """
+
+    def test_interpreter(self):
+        code, loaded = run_asm(self.BODY)
+        assert code == 1
+        assert loaded.host.output_values() == [3221225472.0]
+
+    @pytest.mark.parametrize("arch", ["mips", "sparc", "ppc", "x86"])
+    def test_targets_agree(self, arch):
+        code, module = run_asm_on(arch, self.BODY)
+        assert code == 1
+        assert module.host.output_values() == [3221225472.0]
+
+
+class TestSetCompareFamilies:
+    BODY = """
+        li r2, -3
+        li r3, 5
+        seq r1, r2, r2      ; 1
+        sne r4, r2, r3      ; 1
+        add r1, r1, r4
+        sle r4, r2, r3      ; 1 (signed)
+        add r1, r1, r4
+        sgeu r4, r2, r3     ; 1 (-3 unsigned is huge)
+        add r1, r1, r4
+        slei r4, r2, -3     ; 1
+        add r1, r1, r4
+        sgti r4, r3, 4      ; 1
+        add r1, r1, r4
+        jr ra
+    """
+
+    def test_interpreter(self):
+        code, _ = run_asm(self.BODY)
+        assert code == 6
+
+    @pytest.mark.parametrize("arch", ["mips", "sparc", "ppc", "x86"])
+    def test_targets_agree(self, arch):
+        code, _ = run_asm_on(arch, self.BODY)
+        assert code == 6

@@ -1,0 +1,127 @@
+"""MiniLisp front end: reader, compiler, cross-language linking."""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_to_object
+from repro.errors import CompileError, ParseError
+from repro.lang2.compiler import compile_minilisp, read_forms
+from repro.omnivm.linker import link
+from repro.runtime.loader import run_module
+from repro.runtime.native_loader import run_on_target
+from repro.native.profiles import MOBILE_SFI
+
+
+def run_lisp(source):
+    program = link([compile_minilisp(source)])
+    return run_module(program)
+
+
+class TestReader:
+    def test_atoms_and_lists(self):
+        forms = read_forms("(a 1 (b -2) c)")
+        assert forms == [["a", 1, ["b", -2], "c"]]
+
+    def test_comments(self):
+        assert read_forms("; nothing\n(f 1) ; trailing") == [["f", 1]]
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            read_forms("(unclosed")
+        with pytest.raises(ParseError):
+            read_forms(")")
+
+
+class TestEvaluation:
+    def test_arithmetic_variadic(self):
+        _code, host = run_lisp("(defun main () (emit (+ 1 2 3 4)) (emit (* 2 3 4)) 0)")
+        assert host.output_values() == [10, 24]
+
+    def test_unary_minus_and_mod(self):
+        _code, host = run_lisp("(defun main () (emit (- 5)) (emit (mod 17 5)) 0)")
+        assert host.output_values() == [-5, 2]
+
+    def test_if_and_comparisons(self):
+        _code, host = run_lisp("""
+        (defun pick (a b) (if (< a b) a b))
+        (defun main () (emit (pick 3 9)) (emit (pick 9 3)) (emit (if (= 1 2) 7)) 0)
+        """)
+        assert host.output_values() == [3, 3, 0]
+
+    def test_let_scoping_and_shadowing(self):
+        _code, host = run_lisp("""
+        (defun main ()
+          (let ((x 1))
+            (let ((x 10) (y x))
+              (emit (+ x y)))
+            (emit x))
+          0)
+        """)
+        # NOTE: bindings evaluate left-to-right with earlier bindings
+        # visible (let*-style): y sees the INNER x.
+        assert host.output_values()[1] == 1
+
+    def test_while_and_set(self):
+        _code, host = run_lisp("""
+        (defun main ()
+          (let ((i 0) (s 0))
+            (while (< i 10) (set! s (+ s i)) (set! i (+ i 1)))
+            (emit s))
+          0)
+        """)
+        assert host.output_values() == [45]
+
+    def test_recursion(self):
+        _code, host = run_lisp("""
+        (defun ack (m n)
+          (if (= m 0) (+ n 1)
+            (if (= n 0) (ack (- m 1) 1)
+              (ack (- m 1) (ack m (- n 1))))))
+        (defun main () (emit (ack 2 3)) 0)
+        """)
+        assert host.output_values() == [9]
+
+    def test_exit_code(self):
+        code, _ = run_lisp("(defun main () 17)")
+        assert code == 17
+
+
+class TestCompileErrors:
+    @pytest.mark.parametrize("source", [
+        "(emit 1)",                       # not a defun at top level
+        "(defun f)",                      # malformed
+        "(defun f () unbound)",           # unbound variable
+        "(defun f () (set! nope 1))",
+        "(defun f (a) a) (defun g () (f 1 2))",  # arity
+        "(defun f () (+ 1))",             # arity of +
+    ])
+    def test_rejects(self, source):
+        with pytest.raises((CompileError, ParseError)):
+            run_lisp(source)
+
+
+class TestCrossLanguage:
+    def test_lisp_calls_c_and_back(self):
+        c_obj = compile_to_object("""
+        extern int lfib(int n);
+        int c_mul(int a, int b) { return a * b; }
+        int main() { emit_int(lfib(10)); return 0; }
+        """, CompileOptions(module_name="c"))
+        lisp_obj = compile_minilisp("""
+        (defun lfib (n)
+          (if (< n 2) n (+ (lfib (- n 1)) (lfib (c_mul (- n 2) 1)))))
+        """, module_name="lisp")
+        program = link([c_obj, lisp_obj])
+        _code, host = run_module(program)
+        assert host.output_values() == [55]
+
+    def test_polyglot_runs_on_all_targets(self):
+        c_obj = compile_to_object("""
+        extern int triple(int n);
+        int main() { emit_int(triple(14)); return 0; }
+        """, CompileOptions(module_name="c"))
+        lisp_obj = compile_minilisp("(defun triple (n) (* n 3))",
+                                    module_name="lisp")
+        program = link([c_obj, lisp_obj])
+        for arch in ("mips", "sparc", "ppc", "x86"):
+            _code, module = run_on_target(program, arch, MOBILE_SFI)
+            assert module.host.output_values() == [42], arch

@@ -1,0 +1,123 @@
+"""Segmented memory: permissions, violations, typed access."""
+
+import pytest
+
+from repro.errors import AccessViolation
+from repro.omnivm.memory import (
+    CODE_BASE,
+    DATA_BASE,
+    HEAP_BASE,
+    PERM_EXEC,
+    PERM_READ,
+    PERM_WRITE,
+    SANDBOX_BASE,
+    SANDBOX_MASK,
+    STACK_BASE,
+    Memory,
+    standard_module_memory,
+)
+
+
+@pytest.fixture
+def memory():
+    return standard_module_memory(b"\x01" * 64, b"\x02" * 64)
+
+
+class TestLayout:
+    def test_standard_segments(self, memory):
+        names = {seg.name for seg in memory.segments}
+        assert names == {"code", "data", "heap", "stack"}
+
+    def test_writable_segments_inside_sandbox(self, memory):
+        for name in ("data", "heap", "stack"):
+            seg = memory.segment_named(name)
+            assert seg.base & ~SANDBOX_MASK == SANDBOX_BASE
+            assert (seg.limit - 1) & ~SANDBOX_MASK == SANDBOX_BASE
+
+    def test_code_outside_sandbox(self):
+        assert CODE_BASE & ~SANDBOX_MASK != SANDBOX_BASE
+
+    def test_overlap_rejected(self):
+        memory = Memory()
+        memory.add_segment("a", 0x1000, 0x1000, PERM_READ)
+        with pytest.raises(ValueError):
+            memory.add_segment("b", 0x1800, 0x1000, PERM_READ)
+
+
+class TestPermissions:
+    def test_code_not_writable(self, memory):
+        with pytest.raises(AccessViolation):
+            memory.store(CODE_BASE, 4, 0xBAD)
+
+    def test_code_readable_and_executable(self, memory):
+        assert memory.load(CODE_BASE, 4) == 0x01010101
+        memory.fetch_check(CODE_BASE)
+
+    def test_data_not_executable(self, memory):
+        with pytest.raises(AccessViolation):
+            memory.fetch_check(DATA_BASE)
+
+    def test_unmapped_faults(self, memory):
+        with pytest.raises(AccessViolation) as info:
+            memory.load(0, 4)
+        assert info.value.address == 0
+        with pytest.raises(AccessViolation):
+            memory.store(0x05000000, 1, 1)
+
+    def test_straddling_segment_end_faults(self, memory):
+        seg = memory.segment_named("data")
+        with pytest.raises(AccessViolation):
+            memory.load(seg.limit - 2, 4)
+
+    def test_host_imposed_permission_change(self, memory):
+        # The host revokes write on the data segment (the paper's
+        # host-imposed permissions on multi-page segments).
+        memory.store(DATA_BASE, 4, 7)
+        memory.set_perms("data", PERM_READ)
+        with pytest.raises(AccessViolation):
+            memory.store(DATA_BASE, 4, 8)
+        assert memory.load(DATA_BASE, 4) == 7
+
+    def test_violation_records_kind(self, memory):
+        try:
+            memory.store(CODE_BASE, 4, 1)
+        except AccessViolation as violation:
+            assert violation.kind == "store"
+
+
+class TestTypedAccess:
+    def test_sizes_and_sign(self, memory):
+        memory.store(HEAP_BASE, 4, 0xFFFF8080)
+        assert memory.load(HEAP_BASE, 1) == 0x80
+        assert memory.load(HEAP_BASE, 1, signed=True) == -128
+        assert memory.load(HEAP_BASE, 2, signed=True) == -32640
+        assert memory.load(HEAP_BASE, 4) == 0xFFFF8080
+
+    def test_little_endian(self, memory):
+        memory.store(HEAP_BASE, 4, 0x11223344)
+        assert memory.load(HEAP_BASE, 1) == 0x44
+        assert memory.load(HEAP_BASE + 3, 1) == 0x11
+
+    def test_floats(self, memory):
+        memory.store_f64(STACK_BASE, 2.5)
+        assert memory.load_f64(STACK_BASE) == 2.5
+        memory.store_f32(STACK_BASE + 8, 1.5)
+        assert memory.load_f32(STACK_BASE + 8) == 1.5
+
+    def test_f32_rounds(self, memory):
+        memory.store_f32(STACK_BASE, 0.1)
+        assert memory.load_f32(STACK_BASE) != 0.1  # rounded to single
+
+    def test_cstring(self, memory):
+        memory.write_bytes(HEAP_BASE, b"hello\x00")
+        assert memory.read_cstring(HEAP_BASE) == b"hello"
+
+    def test_unterminated_cstring_faults(self, memory):
+        memory.write_bytes(HEAP_BASE, b"x" * 32)
+        with pytest.raises(AccessViolation):
+            memory.read_cstring(HEAP_BASE, max_len=16)
+
+    def test_write_count_tracks_mutation(self, memory):
+        before = memory.write_count
+        memory.store(HEAP_BASE, 4, 1)
+        assert memory.write_count == before + 1

@@ -1,0 +1,92 @@
+"""Separate compilation: multiple translation units linked into one
+mobile module (the paper's function-shipping scenario depends on this)."""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_and_link
+from repro.errors import LinkError
+from repro.runtime.loader import run_module
+
+
+class TestSeparateCompilation:
+    def test_extern_function(self):
+        main_unit = """
+        extern int triple(int n);
+        int main() { emit_int(triple(5)); return 0; }
+        """
+        lib_unit = "int triple(int n) { return 3 * n; }"
+        _code, host = run_module(compile_and_link([main_unit, lib_unit]))
+        assert host.output_values() == [15]
+
+    def test_extern_global(self):
+        main_unit = """
+        extern int shared_counter;
+        extern void bump(void);
+        int main() {
+            bump(); bump(); bump();
+            emit_int(shared_counter);
+            return 0;
+        }
+        """
+        lib_unit = """
+        int shared_counter = 10;
+        void bump(void) { shared_counter++; }
+        """
+        _code, host = run_module(compile_and_link([main_unit, lib_unit]))
+        assert host.output_values() == [13]
+
+    def test_cross_unit_function_pointers(self):
+        main_unit = """
+        extern int apply_op(int (*op)(int, int), int a, int b);
+        int my_sub(int a, int b) { return a - b; }
+        int main() { emit_int(apply_op(my_sub, 9, 4)); return 0; }
+        """
+        lib_unit = """
+        int apply_op(int (*op)(int, int), int a, int b) { return op(a, b); }
+        """
+        _code, host = run_module(compile_and_link([main_unit, lib_unit]))
+        assert host.output_values() == [5]
+
+    def test_same_struct_in_both_units(self):
+        shape = "struct Pair { int a; int b; };"
+        main_unit = shape + """
+        extern int pair_sum(struct Pair *p);
+        int main() {
+            struct Pair p;
+            p.a = 30; p.b = 12;
+            emit_int(pair_sum(&p));
+            return 0;
+        }
+        """
+        lib_unit = shape + """
+        int pair_sum(struct Pair *p) { return p->a + p->b; }
+        """
+        _code, host = run_module(compile_and_link([main_unit, lib_unit]))
+        assert host.output_values() == [42]
+
+    def test_string_pools_are_per_unit(self):
+        # Both units intern ".str0"; local symbols must not collide.
+        a = 'extern void say(void); int main() { emit_str("A"); say(); return 0; }'
+        b = 'void say(void) { emit_str("B"); }'
+        _code, host = run_module(compile_and_link([a, b]))
+        assert host.output_values() == [b"A", b"B"]
+
+    def test_missing_extern_fails_at_link(self):
+        with pytest.raises(LinkError):
+            compile_and_link([
+                "extern int ghost(void); int main() { return ghost(); }",
+            ])
+
+    def test_three_units_on_targets(self):
+        from repro.runtime.native_loader import run_on_target
+        from repro.native.profiles import MOBILE_SFI
+
+        units = [
+            "extern int f2(int); int main() { emit_int(f2(1)); return 0; }",
+            "extern int f3(int); int f2(int x) { return f3(x) * 2; }",
+            "int f3(int x) { return x + 10; }",
+        ]
+        program = compile_and_link(units)
+        for arch in ("mips", "x86"):
+            _code, module = run_on_target(program, arch, MOBILE_SFI)
+            assert module.host.output_values() == [22], arch

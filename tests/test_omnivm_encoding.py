@@ -1,0 +1,221 @@
+"""Encoding/decoding, object format, and assembler round-trip tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AsmError, EncodingError, ObjectFormatError
+from repro.omnivm.asmparser import assemble
+from repro.omnivm.encoding import (
+    decode_instr,
+    decode_program,
+    encode_instr,
+    encode_program,
+)
+from repro.omnivm.isa import INSTR_SIZE, SPECS, VMInstr
+from repro.omnivm.objfile import DataReloc, ObjectModule
+
+
+def _random_instr_strategy():
+    spec = st.sampled_from(SPECS)
+
+    @st.composite
+    def build(draw):
+        chosen = draw(spec)
+        instr = VMInstr(chosen.name)
+        for ch in chosen.fmt:
+            if ch == "d":
+                instr.rd = draw(st.integers(0, 15))
+            elif ch == "s":
+                instr.rs = draw(st.integers(0, 15))
+            elif ch == "t":
+                instr.rt = draw(st.integers(0, 15))
+            elif ch == "D":
+                instr.fd = draw(st.integers(0, 15))
+            elif ch == "S":
+                instr.fs = draw(st.integers(0, 15))
+            elif ch == "T":
+                instr.ft = draw(st.integers(0, 15))
+            elif ch in ("i", "L"):
+                instr.imm = draw(st.integers(-(2**31), 2**31 - 1))
+            elif ch == "j":
+                instr.imm2 = draw(st.integers(-(2**17), 2**17 - 1))
+        return instr
+
+    return build()
+
+
+class TestEncoding:
+    def test_fixed_width(self):
+        blob = encode_instr(VMInstr("add", rd=1, rs=2, rt=3))
+        assert len(blob) == INSTR_SIZE
+
+    def test_simple_roundtrip(self):
+        original = VMInstr("lw", rd=3, rs=15, imm=-44)
+        decoded = decode_instr(encode_instr(original))
+        assert decoded.op == "lw"
+        assert decoded.rd == 3 and decoded.rs == 15 and decoded.imm == -44
+
+    def test_branchi_imm2_roundtrip(self):
+        original = VMInstr("blti", rs=4, imm2=-1000, imm=0x10000040)
+        decoded = decode_instr(encode_instr(original))
+        assert decoded.imm2 == -1000
+        assert decoded.imm == 0x10000040
+
+    @given(_random_instr_strategy())
+    def test_roundtrip_property(self, instr):
+        decoded = decode_instr(encode_instr(instr))
+        assert decoded.op == instr.op
+        for field in ("rd", "rs", "rt", "fd", "fs", "ft", "imm2"):
+            spec = instr.spec
+            # Only fields the format uses must round-trip.
+            relevant = {
+                "rd": "d" in spec.fmt or spec.kind in ("storex", "fstorex"),
+                "rs": "s" in spec.fmt,
+                "rt": "t" in spec.fmt,
+                "fd": "D" in spec.fmt,
+                "fs": "S" in spec.fmt,
+                "ft": "T" in spec.fmt,
+                "imm2": "j" in spec.fmt,
+            }[field]
+            if relevant:
+                assert getattr(decoded, field) == getattr(instr, field)
+        from repro.utils.bits import u32
+
+        assert u32(decoded.imm) == u32(instr.imm)
+
+    def test_rejects_unresolved_label(self):
+        with pytest.raises(EncodingError):
+            encode_instr(VMInstr("jal", label="somewhere"))
+
+    def test_rejects_oversized_imm2(self):
+        with pytest.raises(EncodingError):
+            encode_instr(VMInstr("beqi", rs=1, imm2=1 << 20))
+
+    def test_rejects_bad_opcode_number(self):
+        blob = (0x3FF).to_bytes(4, "little") + b"\x00" * 4
+        with pytest.raises(EncodingError):
+            decode_instr(blob)
+
+    def test_program_roundtrip(self):
+        program = [
+            VMInstr("li", rd=1, imm=42),
+            VMInstr("addi", rd=2, rs=1, imm=-1),
+            VMInstr("jr", rs=14),
+        ]
+        assert [i.op for i in decode_program(encode_program(program))] == [
+            "li", "addi", "jr",
+        ]
+
+    def test_decode_rejects_ragged_text(self):
+        with pytest.raises(EncodingError):
+            decode_program(b"\x00" * 7)
+
+
+class TestObjectFormat:
+    def _sample(self):
+        obj = ObjectModule("sample")
+        obj.text = [
+            VMInstr("li", rd=1, label="counter"),
+            VMInstr("lw", rd=2, rs=1, imm=0),
+            VMInstr("jal", label="helper"),
+            VMInstr("jr", rs=14),
+        ]
+        obj.data = b"\x05\x00\x00\x00rest"
+        obj.bss_size = 64
+        obj.define("entry", "text", 0)
+        obj.define("counter", "data", 0)
+        obj.define("scratch", "bss", 0, is_global=False)
+        obj.data_relocs.append(DataReloc(4, "entry"))
+        return obj
+
+    def test_roundtrip(self):
+        obj = self._sample()
+        restored = ObjectModule.from_bytes(obj.to_bytes())
+        assert restored.name == "sample"
+        assert [i.op for i in restored.text] == ["li", "lw", "jal", "jr"]
+        assert restored.text[0].label == "counter"
+        assert restored.text[2].label == "helper"
+        assert restored.data == obj.data
+        assert restored.bss_size == 64
+        assert len(restored.symbols) == 3
+        assert restored.symbols[2].is_global is False
+        assert restored.data_relocs[0].symbol == "entry"
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ObjectFormatError):
+            ObjectModule.from_bytes(b"NOPE" + b"\x00" * 32)
+
+    def test_undefined_symbols_reported(self):
+        obj = self._sample()
+        assert obj.undefined_symbols() == {"helper"}
+
+
+class TestAssembler:
+    def test_assembles_and_runs(self):
+        source = """
+            .text
+            .globl main
+        main:
+            li   r1, 6
+            li   r2, 7
+            mul  r1, r1, r2
+            hostcall 1          ; emit_int(r1)
+            li   r1, 0
+            jr   ra
+        """
+        from repro.omnivm.linker import link
+        from repro.runtime.loader import run_module
+
+        obj = assemble(source)
+        code, host = run_module(link([obj]))
+        assert code == 0
+        assert host.output_values() == [42]
+
+    def test_data_directives(self):
+        source = """
+            .data
+            .globl table
+        table:
+            .word 1, 2, -3
+            .byte 'A'
+            .align 4
+            .word @table
+            .asciz "hi"
+            .space 3
+        """
+        obj = assemble(source)
+        assert obj.data[:12] == (1).to_bytes(4, "little") + \
+            (2).to_bytes(4, "little") + (-3).to_bytes(4, "little", signed=True)
+        assert obj.data[12] == ord("A")
+        assert obj.data_relocs[0].offset == 16
+        assert b"hi\x00" in obj.data
+
+    def test_store_operand_order(self):
+        obj = assemble("""
+            .text
+        f:
+            sw r3, r15, 8
+        """)
+        instr = obj.text[0]
+        assert instr.rt == 3 and instr.rs == 15 and instr.imm == 8
+
+    def test_branch_immediate_form(self):
+        obj = assemble("""
+            .text
+        loop:
+            beqi r1, 0, loop
+        """)
+        assert obj.text[0].imm2 == 0 and obj.text[0].label == "loop"
+
+    @pytest.mark.parametrize("bad", [
+        "bogus r1, r2",
+        ".text\nadd r1, r2",          # wrong operand count
+        ".text\nadd r1, r2, r99",     # register out of range
+        ".text\nbeqi r1, 400000, x",  # imm2 too wide
+        ".data\n.unknown 4",
+        ".data\nlw r1, r2, 0",        # instruction outside .text
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(AsmError):
+            assemble(bad)

@@ -1,0 +1,175 @@
+"""Unit tests for the MiniC parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend.parser import parse
+from repro.frontend.types import (
+    CHAR,
+    DOUBLE,
+    INT,
+    UINT,
+    ArrayType,
+    FunctionType,
+    PointerType,
+)
+
+
+class TestDeclarations:
+    def test_global_scalar(self):
+        unit = parse("int x = 5;")
+        (decl,) = unit.decls
+        assert isinstance(decl, ast.GlobalVar)
+        assert decl.name == "x" and decl.decl_type == INT
+        assert isinstance(decl.init, ast.IntLiteral)
+
+    def test_global_array_with_init(self):
+        unit = parse("int a[3] = {1, 2, 3};")
+        (decl,) = unit.decls
+        assert decl.decl_type == ArrayType(INT, 3)
+        assert len(decl.init_list) == 3
+
+    def test_unsized_array_from_initializer(self):
+        unit = parse("int a[] = {1, 2, 3, 4};")
+        assert unit.decls[0].decl_type.count == 4
+
+    def test_string_array(self):
+        unit = parse('char msg[] = "hey";')
+        assert unit.decls[0].decl_type == ArrayType(CHAR, 4)  # + NUL
+
+    def test_pointer_levels(self):
+        unit = parse("int **pp;")
+        assert unit.decls[0].decl_type == PointerType(PointerType(INT))
+
+    def test_multiple_declarators(self):
+        unit = parse("int a, b = 2, *c;")
+        names = [d.name for d in unit.decls]
+        assert names == ["a", "b", "c"]
+        assert unit.decls[2].decl_type == PointerType(INT)
+
+    def test_function_prototype_and_def(self):
+        unit = parse("int f(int a, double b);\nint f(int a, double b) { return a; }")
+        proto, definition = unit.decls
+        assert proto.body is None and definition.body is not None
+        assert proto.func_type == FunctionType(INT, (INT, DOUBLE))
+
+    def test_array_param_decays(self):
+        unit = parse("int sum(int a[], int n) { return 0; }")
+        assert unit.decls[0].func_type.params[0] == PointerType(INT)
+
+    def test_function_pointer_global(self):
+        unit = parse("int (*handler)(int, int);")
+        decl = unit.decls[0]
+        pointee = decl.decl_type.pointee
+        assert isinstance(pointee, FunctionType)
+        assert pointee.params == (INT, INT)
+
+    def test_function_pointer_param(self):
+        unit = parse("int apply(int (*f)(int), int x) { return f(x); }")
+        param = unit.decls[0].func_type.params[0]
+        assert isinstance(param.pointee, FunctionType)
+
+    def test_struct_declaration(self):
+        unit = parse("struct P { int x; int y; double w; };")
+        decl = unit.decls[0]
+        assert isinstance(decl, ast.StructDecl)
+        assert [m[0] for m in decl.members] == ["x", "y", "w"]
+
+    def test_uint_spelling(self):
+        unit = parse("unsigned int a; uint b;")
+        assert unit.decls[0].decl_type == UINT
+        assert unit.decls[1].decl_type == UINT
+
+    def test_constant_array_dimension_expression(self):
+        unit = parse("int a[4 * 2 + 1];")
+        assert unit.decls[0].decl_type.count == 9
+
+
+class TestStatements:
+    def _body(self, text):
+        unit = parse("void f() {" + text + "}")
+        return unit.decls[0].body.statements
+
+    def test_if_else_chain(self):
+        (stmt,) = self._body("if (1) ; else if (2) ; else ;")
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.otherwise, ast.If)
+
+    def test_for_with_declaration(self):
+        (stmt,) = self._body("for (int i = 0; i < 3; i++) ;")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.DeclStmt)
+
+    def test_do_while(self):
+        (stmt,) = self._body("do { } while (0);")
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_break_continue_return(self):
+        stmts = self._body("while (1) { break; continue; } return;")
+        assert isinstance(stmts[-1], ast.Return)
+
+    def test_decl_group(self):
+        (stmt,) = self._body("int a = 1, b = 2;")
+        assert isinstance(stmt, ast.DeclGroup)
+        assert len(stmt.decls) == 2
+
+
+class TestExpressions:
+    def _expr(self, text):
+        unit = parse(f"int g; void f() {{ g = {text}; }}")
+        return unit.decls[1].body.statements[0].expr.value
+
+    def test_precedence(self):
+        expr = self._expr("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_associativity(self):
+        expr = self._expr("10 - 3 - 2")
+        assert expr.op == "-" and expr.left.op == "-"
+
+    def test_ternary(self):
+        expr = self._expr("1 ? 2 : 3")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_cast_vs_paren(self):
+        assert isinstance(self._expr("(int) 1.5"), ast.Cast)
+        assert isinstance(self._expr("(1) + 2"), ast.Binary)
+
+    def test_sizeof_forms(self):
+        assert isinstance(self._expr("sizeof(int)"), ast.SizeOf)
+        assert isinstance(self._expr("sizeof g"), ast.SizeOf)
+
+    def test_postfix_chains(self):
+        expr = self._expr("a.b[1]->c(2)")
+        assert isinstance(expr, ast.Call)
+        assert isinstance(expr.func, ast.Member)
+
+    def test_unary_stack(self):
+        expr = self._expr("-!~x")
+        assert expr.op == "-" and expr.operand.op == "!"
+
+    def test_assignment_right_associative(self):
+        unit = parse("void f() { int a; int b; a = b = 1; }")
+        stmt = unit.decls[0].body.statements[-1]
+        assert isinstance(stmt.expr.value, ast.Assign)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("source", [
+        "int f( {",
+        "int x = ;",
+        "void f() { if (1 ; }",
+        "void f() { return 1 }",
+        "int a[,];",
+        "struct { int x; };",  # anonymous structs unsupported
+        "void f() { (int; }",
+    ])
+    def test_rejects(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+    def test_unsized_array_without_init(self):
+        with pytest.raises(ParseError):
+            parse("int a[];")

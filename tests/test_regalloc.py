@@ -1,0 +1,161 @@
+"""Register allocation: interval construction, class constraints, spills."""
+
+from repro.compiler import CompileOptions, compile_to_ir
+from repro.regalloc.linearscan import allocate, omnivm_register_file
+from repro.regalloc.liveness import live_intervals
+
+
+def build_func(source, name="f"):
+    return compile_to_ir(source, CompileOptions()).function(name)
+
+
+class TestLiveness:
+    def test_params_start_at_zero(self):
+        func = build_func("int f(int a, int b) { return a + b; }")
+        intervals, _ = live_intervals(func)
+        by_temp = {iv.temp: iv for iv in intervals}
+        for param in func.params:
+            assert by_temp[param].start == 0
+
+    def test_call_crossing_detected(self):
+        func = build_func("""
+        int g(int a) { return a; }
+        int f(int a) { int before = a * 2; g(1); return before; }
+        """)
+        intervals, _ = live_intervals(func)
+        crossing = [iv for iv in intervals if iv.crosses_call]
+        assert crossing  # `before` lives across the call
+
+    def test_call_argument_does_not_cross(self):
+        func = build_func("""
+        int g(int a) { return a; }
+        int f(int a) { return g(a + 1); }
+        """)
+        intervals, _ = live_intervals(func)
+        # The argument temp ends at the call; only values used after the
+        # call cross it.
+        for iv in intervals:
+            if iv.crosses_call:
+                assert iv.temp not in func.params or True
+
+    def test_loop_extends_intervals(self):
+        func = build_func("""
+        int f(int n) {
+            int s = 0;
+            int i;
+            for (i = 0; i < n; i++) s = s + n;
+            return s;
+        }
+        """)
+        intervals, order = live_intervals(func)
+        # n is live through the whole loop body even though its last
+        # textual use is inside it.
+        n_interval = next(iv for iv in intervals if iv.temp == func.params[0])
+        total = max(end for _s, end in order.block_span.values())
+        assert n_interval.end > total // 2
+
+
+class TestAllocation:
+    def _check_no_overlap(self, func):
+        """Two temps in the same register must never be live at once."""
+        assignment = allocate(func, omnivm_register_file(16))
+        intervals, _ = live_intervals(func)
+        by_temp = {iv.temp: iv for iv in intervals}
+        placed = [
+            (by_temp[t], loc)
+            for t, loc in assignment.locations.items()
+            if loc.is_reg() and t in by_temp
+        ]
+        for i, (iv_a, loc_a) in enumerate(placed):
+            for iv_b, loc_b in placed[i + 1:]:
+                if loc_a == loc_b:
+                    disjoint = iv_a.end < iv_b.start or iv_b.end < iv_a.start
+                    assert disjoint, (
+                        f"{iv_a.temp} and {iv_b.temp} share {loc_a} while "
+                        f"overlapping"
+                    )
+        return assignment
+
+    def test_no_overlapping_assignment_simple(self):
+        self._check_no_overlap(build_func(
+            "int f(int a, int b, int c) { return a * b + b * c + a * c; }"
+        ))
+
+    def test_no_overlapping_assignment_loops(self):
+        self._check_no_overlap(build_func("""
+        int f(int n) {
+            int a = 1; int b = 2; int c = 3; int s = 0;
+            int i;
+            for (i = 0; i < n; i++) { s += a * b; a = b; b = c; c = s; }
+            return s;
+        }
+        """))
+
+    def test_call_crossing_gets_callee_saved(self):
+        func = build_func("""
+        int g(int a) { return a; }
+        int f(int a) { int keep = a * 3; g(1); return keep; }
+        """)
+        assignment = allocate(func, omnivm_register_file(16))
+        regfile = omnivm_register_file(16)
+        intervals, _ = live_intervals(func)
+        for iv in intervals:
+            if iv.crosses_call:
+                loc = assignment.locations[iv.temp]
+                if loc.kind == "reg":
+                    assert loc.index in regfile.callee_int
+
+    def test_pressure_forces_spills(self):
+        # 14 simultaneously-live values cannot fit a tiny file.
+        decls = "; ".join(f"int v{i} = a * {i + 1}" for i in range(14))
+        uses = " + ".join(f"v{i}" for i in range(14))
+        func = build_func(f"int f(int a) {{ {decls}; return {uses}; }}")
+        small = allocate(func, omnivm_register_file(8))
+        assert small.spill_slots > 0
+        large = allocate(func, omnivm_register_file(16))
+        assert large.spill_slots < small.spill_slots
+
+    def test_fp_bank_independent(self):
+        func = build_func("""
+        double f(double x, double y) { return x * y + x / y; }
+        """)
+        assignment = allocate(func, omnivm_register_file(16))
+        kinds = {loc.kind for loc in assignment.locations.values()}
+        assert "freg" in kinds
+
+    def test_used_callee_saved_reported(self):
+        func = build_func("""
+        int g(int a) { return a; }
+        int f(int a) { int keep = a + 5; g(1); return keep; }
+        """)
+        assignment = allocate(func, omnivm_register_file(16))
+        assert assignment.used_callee_saved
+
+
+class TestRegisterFileSweep:
+    def test_shrinking_file_never_gains_registers(self):
+        sizes = [8, 10, 12, 14, 16]
+        counts = []
+        for size in sizes:
+            regfile = omnivm_register_file(size)
+            counts.append(len(regfile.caller_int) + len(regfile.callee_int))
+        assert counts == sorted(counts)
+
+    def test_reserved_registers_never_allocatable(self):
+        for size in (8, 12, 16):
+            regfile = omnivm_register_file(size)
+            allocatable = set(regfile.caller_int) | set(regfile.callee_int)
+            assert 15 not in allocatable  # sp
+            assert 14 not in allocatable  # ra
+            assert 5 not in allocatable and 6 not in allocatable  # scratch
+
+    def test_spills_increase_monotonically_under_pressure(self):
+        decls = "; ".join(f"int v{i} = a * {i + 1}" for i in range(12))
+        uses = " + ".join(f"v{i}" for i in range(12))
+        func_src = f"int f(int a) {{ {decls}; return {uses}; }}"
+        spills = []
+        for size in (16, 12, 10, 8):
+            func = build_func(func_src)
+            assignment = allocate(func, omnivm_register_file(size))
+            spills.append(assignment.spill_slots)
+        assert spills == sorted(spills)

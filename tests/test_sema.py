@@ -1,0 +1,119 @@
+"""Unit tests for MiniC semantic analysis (type checking)."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.frontend.lexer import tokenize
+from repro.frontend.parser import Parser
+from repro.frontend.sema import SemanticAnalyzer
+from repro.frontend.types import DOUBLE, INT, PointerType, UINT
+
+
+def analyze(source):
+    parser = Parser(tokenize(source))
+    unit = parser.parse_translation_unit()
+    SemanticAnalyzer(parser.struct_types).analyze(unit)
+    return unit
+
+
+def expr_type(expr_text, prelude=""):
+    unit = analyze(prelude + f"\nvoid probe() {{ (void)({expr_text}); }}")
+    stmt = unit.decls[-1].body.statements[0]
+    return stmt.expr.operand.ty
+
+
+class TestTyping:
+    def test_arithmetic_promotions(self):
+        assert expr_type("1 + 2") == INT
+        assert expr_type("1 + 2.0") == DOUBLE
+        assert expr_type("(char)1 + (char)2") == INT  # promotion
+        assert expr_type("1u + 2") == UINT
+
+    def test_comparison_yields_int(self):
+        assert expr_type("1.5 < 2.5") == INT
+        assert expr_type("1 == 2") == INT
+
+    def test_pointer_arithmetic(self):
+        ty = expr_type("p + 1", "int *p;")
+        assert ty == PointerType(INT)
+        assert expr_type("p - q", "int *p; int *q;") == INT
+
+    def test_array_index_type(self):
+        assert expr_type("a[2]", "double a[4];") == DOUBLE
+
+    def test_address_and_deref(self):
+        assert expr_type("&g", "int g;") == PointerType(INT)
+        assert expr_type("*p", "int *p;") == INT
+
+    def test_struct_member(self):
+        prelude = "struct P { int x; double y; }; struct P g;"
+        assert expr_type("g.y", prelude) == DOUBLE
+        assert expr_type("q->x", prelude + " struct P *q;") == INT
+
+    def test_function_call_result(self):
+        assert expr_type("f(1)", "double f(int a) { return 0.0; }") == DOUBLE
+
+    def test_sizeof_is_uint(self):
+        assert expr_type("sizeof(double)") == UINT
+
+    def test_null_pointer_constant(self):
+        analyze("int *p = 0;")  # must not raise
+
+    def test_address_taken_marks_symbol(self):
+        unit = analyze("void f() { int x; int *p = &x; }")
+        decl = unit.decls[0].body.statements[0]
+        assert decl.symbol.address_taken
+
+
+class TestScoping:
+    def test_shadowing_allowed_in_inner_scope(self):
+        analyze("int x; void f() { int x; { int x; } }")
+
+    def test_out_of_scope_use_rejected(self):
+        with pytest.raises(TypeError_):
+            analyze("void f() { { int x; } x = 1; }")
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(TypeError_):
+            analyze("void f() { int x; int x; }")
+
+    def test_conflicting_function_decl(self):
+        with pytest.raises(TypeError_):
+            analyze("int f(int a); double f(int a);")
+
+    def test_host_builtins_visible(self):
+        analyze("void f() { emit_int(1); emit_double(2.5); }")
+
+
+class TestRejections:
+    @pytest.mark.parametrize("source", [
+        "void f() { undefined_name = 1; }",
+        "void f() { break; }",
+        "void f() { continue; }",
+        "int f() { return; }",
+        "void f() { return 1; }",
+        "void f() { 1 = 2; }",
+        "void f() { int x; x(); }",
+        "void f(int a) { a.field = 1; }",
+        "struct S { int x; }; void f(struct S s) { s.nothere = 1; }",
+        "void f() { emit_int(1, 2); }",
+        "void f() { int *p; double d; d = d % 2.0; }",
+        "void f() { double d; d <<= 2; }",
+        "void v; ",
+        "struct R { int a; int a; };",
+    ])
+    def test_rejects(self, source):
+        with pytest.raises(TypeError_):
+            analyze(source)
+
+    def test_void_condition_rejected(self):
+        with pytest.raises(TypeError_):
+            analyze("void g() {} void f() { if (g()) ; }")
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(TypeError_):
+            analyze("void f() { int x; *x = 1; }")
+
+    def test_call_arity_checked(self):
+        with pytest.raises(TypeError_):
+            analyze("int g(int a, int b) { return 0; } void f() { g(1); }")

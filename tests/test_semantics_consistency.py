@@ -1,0 +1,127 @@
+"""Cross-layer semantic consistency (hypothesis).
+
+The same 32-bit operation is implemented in three places: the constant
+folder (compile time), the OmniVM interpreter (reference semantics), and
+the target executors (translated semantics).  If any pair disagrees, the
+optimizer could change program behaviour — so we check them against each
+other directly, operation by operation, on random operands.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.ir import Const
+from repro.omnivm.isa import VMInstr
+from repro.omnivm.interp import OmniVM
+from repro.omnivm.linker import LinkedProgram
+from repro.omnivm.memory import Memory
+from repro.opt.constfold import eval_binop, eval_cast, eval_cmp
+from repro.targets.base import MInstr, TargetMachine
+from repro.translators import target_spec
+from repro.utils.bits import s32, u32
+
+u32s = st.integers(min_value=0, max_value=2**32 - 1)
+
+_INT_OPS = ["add", "sub", "mul", "div", "rem", "and", "or", "xor",
+            "shl", "shr"]
+_OMNI_OP = {"add": "add", "sub": "sub", "mul": "mul",
+            "and": "and", "or": "or", "xor": "xor", "shl": "sll"}
+
+
+def interp_alu(op: str, a: int, b: int, signed: bool) -> int | None:
+    """Run one ALU op through the reference interpreter."""
+    vm = OmniVM(LinkedProgram("t"), Memory())
+    name = _OMNI_OP.get(op)
+    if op == "div":
+        name = "div" if signed else "divu"
+    elif op == "rem":
+        name = "rem" if signed else "remu"
+    elif op == "shr":
+        name = "sra" if signed else "srl"
+    vm.state.regs[1], vm.state.regs[2] = a, b
+    instr = VMInstr(name, rd=3, rs=1, rt=2)
+    try:
+        vm.step(instr)
+    except Exception:
+        return None
+    return vm.state.regs[3]
+
+
+def target_alu(arch: str, op: str, a: int, b: int, signed: bool) -> int | None:
+    spec = target_spec(arch)
+    machine = TargetMachine(spec, [], Memory(), {})
+    name = _OMNI_OP.get(op)
+    if op == "div":
+        name = "div" if signed else "divu"
+    elif op == "rem":
+        name = "rem" if signed else "remu"
+    elif op == "shr":
+        name = "sra" if signed else "srl"
+    machine.regs[8], machine.regs[9] = a, b
+    try:
+        machine.execute(MInstr(name, rd=10, rs=8, rt=9))
+    except Exception:
+        return None
+    return machine.regs[10]
+
+
+@given(op=st.sampled_from(_INT_OPS), a=u32s, b=u32s,
+       signed=st.booleans())
+def test_constfold_matches_interpreter(op, a, b, signed):
+    ty = "i32" if signed else "u32"
+    value_a = s32(a) if signed else a
+    value_b = s32(b) if signed else b
+    # Shift amounts: the folder and interpreter must both mask to 5 bits.
+    folded = eval_binop(op, Const(value_a, ty), Const(value_b, ty), ty)
+    executed = interp_alu(op, a, b, signed)
+    if folded is None:
+        assert executed is None or op in ("shl", "shr")  # div/rem by 0
+        return
+    assert executed is not None
+    assert u32(int(folded.value)) == executed
+
+
+@given(op=st.sampled_from(_INT_OPS), a=u32s, b=u32s, signed=st.booleans(),
+       arch=st.sampled_from(["mips", "sparc", "ppc", "x86"]))
+def test_targets_match_interpreter(op, a, b, signed, arch):
+    reference = interp_alu(op, a, b, signed)
+    native = target_alu(arch, op, a, b, signed)
+    assert reference == native
+
+
+@given(pred=st.sampled_from(["eq", "ne", "lt", "le", "gt", "ge"]),
+       a=u32s, b=u32s, signed=st.booleans())
+def test_compare_consistency(pred, a, b, signed):
+    ty = "i32" if signed else "u32"
+    folded = eval_cmp(pred, Const(s32(a) if signed else a, ty),
+                      Const(s32(b) if signed else b, ty), ty)
+    # Reference: interpreter's set-compare instruction family.
+    vm = OmniVM(LinkedProgram("t"), Memory())
+    name = {"eq": "seq", "ne": "sne", "lt": "slt", "le": "sle",
+            "gt": "sgt", "ge": "sge"}[pred]
+    if not signed and pred in ("lt", "le", "gt", "ge"):
+        name += "u"
+    vm.state.regs[1], vm.state.regs[2] = a, b
+    vm.step(VMInstr(name, rd=3, rs=1, rt=2))
+    assert folded.value == vm.state.regs[3]
+
+
+@given(value=u32s, subop=st.sampled_from(
+    ["sext8", "sext16", "zext8", "zext16"]))
+def test_extension_consistency(value, subop):
+    folded = eval_cast(subop, Const(s32(value), "i32"), "i32")
+    vm = OmniVM(LinkedProgram("t"), Memory())
+    vm.state.regs[1] = value
+    vm.step(VMInstr(subop, rd=2, rs=1))
+    assert u32(int(folded.value)) == vm.state.regs[2]
+
+
+@given(value=st.floats(allow_nan=False, allow_infinity=False,
+                       min_value=-2**31, max_value=2**31 - 1))
+def test_f2i_truncation_consistency(value, ):
+    folded = eval_cast("f2i", Const(value, "f64"), "i32")
+    vm = OmniVM(LinkedProgram("t"), Memory())
+    vm.state.fregs[1] = value
+    vm.step(VMInstr("cvtwd", rd=2, fs=1))
+    assert u32(int(folded.value)) == vm.state.regs[2]

@@ -1,0 +1,107 @@
+"""Unit tests for the MiniC type system and struct layout."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.frontend.types import (
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    SHORT,
+    UINT,
+    VOID,
+    ArrayType,
+    PointerType,
+    StructType,
+    decay,
+    layout_struct,
+    promote,
+    types_compatible,
+    usual_arithmetic_conversion,
+)
+
+
+class TestPrimitives:
+    def test_sizes(self):
+        assert CHAR.size == 1 and SHORT.size == 2 and INT.size == 4
+        assert FLOAT.size == 4 and DOUBLE.size == 8
+        assert PointerType(DOUBLE).size == 4  # ILP32
+
+    def test_alignment(self):
+        assert DOUBLE.align == 8
+        assert PointerType(DOUBLE).align == 4
+        assert ArrayType(SHORT, 5).align == 2
+
+    def test_array_size(self):
+        assert ArrayType(INT, 10).size == 40
+        assert ArrayType(ArrayType(INT, 3), 2).size == 24
+
+
+class TestStructLayout:
+    def test_natural_alignment_padding(self):
+        struct = layout_struct("S", [("c", CHAR), ("i", INT), ("d", DOUBLE)])
+        offsets = {f.name: f.offset for f in struct.fields}
+        assert offsets == {"c": 0, "i": 4, "d": 8}
+        assert struct.size == 16
+        assert struct.align == 8
+
+    def test_tail_padding(self):
+        struct = layout_struct("S", [("d", DOUBLE), ("c", CHAR)])
+        assert struct.size == 16  # padded to alignment
+
+    def test_packed_when_no_padding_needed(self):
+        struct = layout_struct("S", [("a", INT), ("b", INT)])
+        assert struct.size == 8
+
+    def test_array_field(self):
+        struct = layout_struct("S", [("tag", CHAR), ("v", ArrayType(INT, 4))])
+        assert struct.field_named("v").offset == 4
+        assert struct.size == 20
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(TypeError_):
+            layout_struct("S", [("x", INT), ("x", INT)])
+
+    def test_incomplete_field_rejected(self):
+        with pytest.raises(TypeError_):
+            layout_struct("S", [("self", StructType("S"))])
+
+    def test_name_based_equality(self):
+        complete = layout_struct("Node", [("v", INT)])
+        forward = StructType("Node")
+        assert complete == forward
+        assert hash(complete) == hash(forward)
+        assert complete != StructType("Other")
+
+    def test_missing_field_raises(self):
+        struct = layout_struct("S", [("x", INT)])
+        with pytest.raises(TypeError_):
+            struct.field_named("y")
+
+
+class TestConversionRules:
+    def test_promote(self):
+        assert promote(CHAR) == INT
+        assert promote(SHORT) == INT
+        assert promote(UINT) == UINT
+        assert promote(DOUBLE) == DOUBLE
+
+    def test_usual_arithmetic(self):
+        assert usual_arithmetic_conversion(INT, DOUBLE) == DOUBLE
+        assert usual_arithmetic_conversion(FLOAT, INT) == FLOAT
+        assert usual_arithmetic_conversion(CHAR, SHORT) == INT
+        assert usual_arithmetic_conversion(UINT, INT) == UINT
+
+    def test_usual_arithmetic_rejects_pointers(self):
+        with pytest.raises(TypeError_):
+            usual_arithmetic_conversion(PointerType(INT), INT)
+
+    def test_decay(self):
+        assert decay(ArrayType(INT, 5)) == PointerType(INT)
+        assert decay(INT) == INT
+
+    def test_compat_void_pointer_escape(self):
+        assert types_compatible(PointerType(VOID), PointerType(INT))
+        assert types_compatible(PointerType(INT), PointerType(VOID))
+        assert not types_compatible(PointerType(INT), PointerType(DOUBLE))

@@ -1,0 +1,69 @@
+"""The four SPEC92-analogue workloads: oracle validation everywhere.
+
+These are the heaviest tests in the suite (each runs hundreds of
+thousands of simulated instructions), and also the strongest: every
+workload is checked against its independent pure-Python oracle on the
+reference interpreter AND on all four translated targets with SFI.
+"""
+
+import pytest
+
+from repro.native.profiles import MOBILE_SFI, NATIVE_CC
+from repro.runtime.loader import load_for_interpretation
+from repro.runtime.native_loader import run_on_target
+from repro.translators import ARCHITECTURES
+from repro.workloads import suite
+
+
+@pytest.mark.parametrize("name", suite.WORKLOAD_NAMES)
+def test_oracle_on_interpreter(name):
+    program = suite.build(name)
+    loaded = load_for_interpretation(program)
+    loaded.run()
+    assert suite.check_output(name, loaded.host.output_values())
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("arch", ARCHITECTURES)
+@pytest.mark.parametrize("name", suite.WORKLOAD_NAMES)
+def test_oracle_on_targets_with_sfi(name, arch):
+    program = suite.build(name)
+    _code, module = run_on_target(program, arch, MOBILE_SFI)
+    assert suite.check_output(name, module.host.output_values())
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", suite.WORKLOAD_NAMES)
+def test_oracle_under_cc_peepholes(name):
+    """The cc profile's fused instructions must not change semantics."""
+    for arch in ("ppc", "x86"):  # the targets with cc peepholes
+        program = suite.build(name)
+        _code, module = run_on_target(program, arch, NATIVE_CC)
+        assert suite.check_output(name, module.host.output_values()), arch
+
+
+@pytest.mark.parametrize("name", suite.WORKLOAD_NAMES)
+def test_oracle_with_small_register_file(name):
+    """Table 2's register-starved builds must still be correct."""
+    program = suite.build(name, num_regs=8)
+    loaded = load_for_interpretation(program)
+    loaded.run()
+    assert suite.check_output(name, loaded.host.output_values())
+
+
+def test_workload_build_cache():
+    assert suite.build("li") is suite.build("li")
+    assert suite.build("li") is not suite.build("li", num_regs=8)
+
+
+def test_expected_outputs_are_plausible():
+    li = suite.WORKLOADS["li"].expected
+    assert li[0] == 55 and li[1] == 362880  # fib(10), 9!
+    compress = suite.WORKLOADS["compress"].expected
+    assert compress[2] == 1  # round trip verified
+    assert 0 < compress[0] < 1000  # actually compressed
+    eqntott = suite.WORKLOADS["eqntott"].expected
+    assert 0 < eqntott[1] < 256  # some outputs true, not all
+    alvinn = suite.WORKLOADS["alvinn"].expected
+    sse = alvinn[:3]
+    assert sse[-1] < sse[0]  # training reduces error
