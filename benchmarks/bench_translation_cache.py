@@ -1,0 +1,140 @@
+"""Translation-cache micro-benchmark: cold vs. warm module loads.
+
+The paper's design constraint is that load-time translation is cheap;
+the :class:`repro.cache.TranslationCache` makes the *second* load of the
+same module nearly free.  This benchmark measures both paths through
+``load_for_target`` — cold (verify + translate + SFI-verify, then cache
+store) and warm (content-addressed cache hit, no verification or
+translation at all) — on every target, and emits the
+``BENCH_translation_cache.json`` artifact at the repository root.
+
+The artifact schema is guarded by :func:`validate_artifact`, which the
+tier-1 suite invokes (``tests/test_translation_cache.py``) so the JSON
+contract cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from pathlib import Path
+
+from repro.cache import TranslationCache
+from repro.native.profiles import MOBILE_SFI
+from repro.omnivm.linker import LinkedProgram
+from repro.runtime.native_loader import load_for_target
+from repro.translators import ARCHITECTURES
+from repro.workloads import suite
+
+ARTIFACT_PATH = Path(__file__).resolve().parents[1] / (
+    "BENCH_translation_cache.json"
+)
+
+SCHEMA_VERSION = 1
+
+#: keys every per-arch entry must carry (the artifact contract)
+RESULT_KEYS = frozenset(
+    ("arch", "cold_seconds", "warm_seconds", "speedup", "cache")
+)
+
+
+def collect_benchmark(
+    program: LinkedProgram | None = None,
+    archs: tuple[str, ...] = ARCHITECTURES,
+    repeats: int = 3,
+    options=MOBILE_SFI,
+) -> dict:
+    """Measure cold vs. warm ``load_for_target`` for each arch.
+
+    Returns the artifact payload (does not write it).  ``cold`` clears
+    the cache before each load; ``warm`` repeats the load against the
+    populated cache and asserts every repetition was served as a hit —
+    i.e. verify+translate were skipped.
+    """
+    if program is None:
+        program = suite.build("li")
+    results = []
+    for arch in archs:
+        cache = TranslationCache()
+        cold_times = []
+        for _ in range(repeats):
+            cache.clear()
+            gc.collect()  # keep collector pauses out of the timed region
+            start = time.perf_counter()
+            load_for_target(program, arch, options, cache=cache)
+            cold_times.append(time.perf_counter() - start)
+        hits_before = cache.stats().hits
+        warm_times = []
+        for _ in range(repeats):
+            gc.collect()
+            start = time.perf_counter()
+            load_for_target(program, arch, options, cache=cache)
+            warm_times.append(time.perf_counter() - start)
+        hits = cache.stats().hits - hits_before
+        if hits != repeats:
+            raise AssertionError(
+                f"{arch}: expected {repeats} warm cache hits, saw {hits}"
+            )
+        cold = min(cold_times)
+        warm = min(warm_times)
+        results.append({
+            "arch": arch,
+            "cold_seconds": cold,
+            "warm_seconds": warm,
+            "speedup": (cold / warm) if warm > 0 else float("inf"),
+            "cache": cache.stats().to_dict(),
+        })
+    return {
+        "benchmark": "translation_cache",
+        "schema_version": SCHEMA_VERSION,
+        "program_instrs": len(program.instrs),
+        "repeats": repeats,
+        "results": results,
+    }
+
+
+def validate_artifact(payload: dict) -> None:
+    """Raise AssertionError unless *payload* matches the artifact
+    contract consumed by the benchmark trajectory."""
+    assert payload.get("benchmark") == "translation_cache", "bad benchmark id"
+    assert payload.get("schema_version") == SCHEMA_VERSION, "schema drift"
+    assert isinstance(payload.get("program_instrs"), int)
+    assert isinstance(payload.get("repeats"), int)
+    results = payload.get("results")
+    assert isinstance(results, list) and results, "no per-arch results"
+    for entry in results:
+        missing = RESULT_KEYS - entry.keys()
+        assert not missing, f"result entry missing keys: {sorted(missing)}"
+        assert entry["arch"] in ARCHITECTURES
+        assert entry["cold_seconds"] > 0
+        assert entry["warm_seconds"] > 0
+        cache = entry["cache"]
+        assert cache["hits"] >= 1 and cache["misses"] >= 1
+
+
+def write_artifact(payload: dict, path: Path = ARTIFACT_PATH) -> Path:
+    validate_artifact(payload)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def bench_translation_cache(save_result):
+    """Full-size run (the ``li`` workload) emitting the JSON artifact."""
+    payload = collect_benchmark()
+    path = write_artifact(payload)
+    lines = [f"translation cache: cold vs warm load "
+             f"({payload['program_instrs']} OmniVM instructions)"]
+    for entry in payload["results"]:
+        lines.append(
+            f"  {entry['arch']:<6} cold {entry['cold_seconds'] * 1e3:9.2f} ms"
+            f"   warm {entry['warm_seconds'] * 1e3:8.3f} ms"
+            f"   speedup {entry['speedup']:8.1f}x"
+        )
+        # The acceptance bar: warm skips verify+translate and is
+        # measurably faster.
+        assert entry["warm_seconds"] < entry["cold_seconds"], (
+            f"{entry['arch']}: warm load not faster than cold"
+        )
+    save_result("translation_cache", "\n".join(lines))
+    print(f"\nartifact: {path}")

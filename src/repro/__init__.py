@@ -9,6 +9,16 @@ and the runtime that hosts untrusted mobile modules.
 
 Quick start::
 
+    from repro import Engine
+
+    engine = Engine(target="mips")              # SFI on, cache + metrics
+    program = engine.compile('int main() { emit_int(42); return 0; }')
+    code, module = engine.run(program)          # verify+translate+execute
+    code, module = engine.run(program)          # warm: translation cached
+    print(engine.stats_text())                  # per-stage timings etc.
+
+The pre-Engine free functions still work and behave identically::
+
     from repro import compile_and_link, run_module, run_on_target, MOBILE_SFI
 
     program = compile_and_link(['int main() { emit_int(42); return 0; }'])
@@ -19,15 +29,20 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 reproduced evaluation.
 """
 
+from repro import metrics
+from repro.cache import TranslationCache
 from repro.compiler import CompileOptions, compile_and_link, compile_to_object
+from repro.engine import Engine
 from repro.errors import (
     AccessViolation,
     CompileError,
     HostCallError,
     ReproError,
     SandboxViolation,
+    UnknownArchitectureError,
     VerifyError,
 )
+from repro.metrics import MetricsCollector
 from repro.lang2.compiler import compile_minilisp
 from repro.native.profiles import (
     MOBILE_NOSFI,
@@ -51,18 +66,22 @@ __all__ = [
     "AccessViolation",
     "CompileError",
     "CompileOptions",
+    "Engine",
     "Host",
     "HostCallError",
     "LinkedProgram",
     "MOBILE_NOSFI",
     "MOBILE_SFI",
+    "MetricsCollector",
     "NATIVE_CC",
     "NATIVE_GCC",
     "ObjectModule",
     "PROFILES",
     "ReproError",
     "SandboxViolation",
+    "TranslationCache",
     "TranslationOptions",
+    "UnknownArchitectureError",
     "VerifyError",
     "assemble",
     "compile_and_link",
@@ -71,6 +90,7 @@ __all__ = [
     "link",
     "load_for_interpretation",
     "load_for_target",
+    "metrics",
     "run_module",
     "run_on_target",
     "translate",

@@ -1,0 +1,279 @@
+"""Content-addressed translation cache.
+
+The paper's load-time translator is fast, but a host that loads the same
+mobile module twice (the common case for a popular applet) should not
+pay verification + translation twice.  This module provides a
+:class:`TranslationCache` keyed by ``(linked-program digest, arch,
+TranslationOptions)``:
+
+* the **program digest** is content-addressed: SHA-256 over the encoded
+  text image, the data image, the entry address and the function-range
+  table — everything translation output depends on.  Two structurally
+  identical programs hit the same entry no matter how they were built;
+* the **options digest** covers every field of
+  :class:`~repro.translators.base.TranslationOptions`, so e.g. an
+  SFI-off translation can never satisfy an SFI-on request;
+* entries are held in an **in-memory LRU** (bounded by ``capacity``)
+  with optional **on-disk persistence** (one JSON file per entry under
+  ``disk_dir``) that survives process restarts;
+* hit / miss / eviction / store counters are exported through
+  :meth:`TranslationCache.stats` and mirrored into
+  :mod:`repro.metrics` counters (``cache.hit`` / ``cache.miss`` / ...)
+  when a collector is active.
+
+A cache hit returns the previously verified translation, so the loader
+skips *both* module verification and SFI verification — the translated
+code was checked when it entered the cache and its content hash pins the
+exact input it was produced from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+from repro import metrics
+from repro.omnivm.linker import LinkedProgram
+from repro.targets.base import MInstr
+from repro.translators import target_spec
+from repro.translators.base import TranslatedModule, TranslationOptions
+
+#: Bump when the on-disk entry layout changes; mismatched files are
+#: treated as misses and rewritten.
+DISK_FORMAT = 1
+
+#: MInstr fields persisted to disk (caches/latencies are recomputed).
+_MINSTR_FIELDS = (
+    "op", "rd", "rs", "rt", "fd", "fs", "ft",
+    "imm", "target", "pred", "annul", "omni_addr", "category",
+)
+
+
+def program_digest(program: LinkedProgram) -> str:
+    """Content hash of everything translation output depends on."""
+    digest = hashlib.sha256()
+    digest.update(program.text_image)
+    digest.update(b"\x00data\x00")
+    digest.update(bytes(program.data_image))
+    digest.update(f"\x00entry\x00{program.entry_address}".encode())
+    for name, (start, end) in sorted(program.function_ranges.items()):
+        digest.update(f"\x00fn\x00{name}\x00{start}\x00{end}".encode())
+    return digest.hexdigest()
+
+
+def options_digest(options: TranslationOptions | None) -> str:
+    """Stable, field-complete digest of a TranslationOptions value."""
+    options = options or TranslationOptions()
+    payload = {f.name: getattr(options, f.name)
+               for f in fields(TranslationOptions)}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(program: LinkedProgram, arch: str,
+              options: TranslationOptions | None) -> tuple[str, str, str]:
+    return (program_digest(program), arch, options_digest(options))
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+    disk_hits: int = 0
+    invalidations: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "disk_hits": self.disk_hits,
+            "invalidations": self.invalidations,
+        }
+
+
+class TranslationCache:
+    """LRU cache of verified :class:`TranslatedModule` values.
+
+    ``capacity`` bounds the in-memory entry count (least recently used
+    entries are evicted first); ``disk_dir`` (optional) enables
+    persistence — evicted or restart-lost entries are reloaded from disk
+    on the next request and re-enter the LRU.
+    """
+
+    def __init__(self, capacity: int = 64,
+                 disk_dir: str | Path | None = None):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self._entries: OrderedDict[tuple[str, str, str], TranslatedModule] = (
+            OrderedDict()
+        )
+        self._stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, program: LinkedProgram, arch: str,
+            options: TranslationOptions | None = None
+            ) -> TranslatedModule | None:
+        """Return the cached translation for this exact (program, arch,
+        options) content, or None on a miss."""
+        key = cache_key(program, arch, options)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self._stats.hits += 1
+            metrics.count("cache.hit")
+            return entry
+        entry = self._disk_load(key)
+        if entry is not None:
+            self._insert(key, entry)
+            self._stats.hits += 1
+            self._stats.disk_hits += 1
+            metrics.count("cache.hit")
+            metrics.count("cache.disk_hit")
+            return entry
+        self._stats.misses += 1
+        metrics.count("cache.miss")
+        return None
+
+    def put(self, program: LinkedProgram, arch: str,
+            options: TranslationOptions | None,
+            translated: TranslatedModule) -> None:
+        """Insert a (verified) translation."""
+        key = cache_key(program, arch, options)
+        self._insert(key, translated)
+        self._stats.stores += 1
+        metrics.count("cache.store")
+        self._disk_store(key, translated)
+
+    def _insert(self, key: tuple[str, str, str],
+                translated: TranslatedModule) -> None:
+        self._entries[key] = translated
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._stats.evictions += 1
+            metrics.count("cache.eviction")
+
+    # -- invalidation ---------------------------------------------------------
+
+    def invalidate(self, program: LinkedProgram | None = None,
+                   arch: str | None = None) -> int:
+        """Drop entries matching *program* and/or *arch* (both None =
+        everything).  Removes matching disk entries too.  Returns the
+        number of in-memory entries dropped."""
+        digest = program_digest(program) if program is not None else None
+        doomed = [
+            key for key in self._entries
+            if (digest is None or key[0] == digest)
+            and (arch is None or key[1] == arch)
+        ]
+        for key in doomed:
+            del self._entries[key]
+            self._disk_remove(key)
+        self._stats.invalidations += len(doomed)
+        if digest is None and arch is None and self.disk_dir is not None:
+            for path in self.disk_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return len(doomed)
+
+    def clear(self) -> int:
+        """Drop every entry (memory and disk)."""
+        return self.invalidate()
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        return self._stats
+
+    # -- disk persistence -----------------------------------------------------
+
+    def _disk_path(self, key: tuple[str, str, str]) -> Path | None:
+        if self.disk_dir is None:
+            return None
+        name = hashlib.sha256("|".join(key).encode()).hexdigest()[:32]
+        return self.disk_dir / f"{name}.json"
+
+    def _disk_store(self, key: tuple[str, str, str],
+                    translated: TranslatedModule) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        payload = {
+            "format": DISK_FORMAT,
+            "key": list(key),
+            "arch": key[1],
+            "options": json.loads(key[2]),
+            "entry_native": translated.entry_native,
+            "omni_to_native": {
+                str(omni): native
+                for omni, native in translated.omni_to_native.items()
+            },
+            "instrs": [
+                {name: getattr(instr, name) for name in _MINSTR_FIELDS}
+                for instr in translated.instrs
+            ],
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(payload))
+        except OSError:
+            pass  # persistence is best-effort; the LRU still has it
+
+    def _disk_load(self, key: tuple[str, str, str]
+                   ) -> TranslatedModule | None:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (payload.get("format") != DISK_FORMAT
+                or payload.get("key") != list(key)):
+            return None
+        arch = payload["arch"]
+        options = TranslationOptions(**payload["options"])
+        module = TranslatedModule(
+            spec=target_spec(arch),
+            options=options,
+            instrs=[MInstr(**fields_) for fields_ in payload["instrs"]],
+            omni_to_native={
+                int(omni): native
+                for omni, native in payload["omni_to_native"].items()
+            },
+            entry_native=payload["entry_native"],
+        )
+        return module
+
+    def _disk_remove(self, key: tuple[str, str, str]) -> None:
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+
+__all__ = [
+    "CacheStats",
+    "TranslationCache",
+    "cache_key",
+    "options_digest",
+    "program_digest",
+]

@@ -7,7 +7,8 @@ Usage (also via ``python -m repro``):
     omnicc compile  prog.c [-o prog.oof] [-O{0,1,2}] [--lisp]
     omnicc link     a.oof b.oof [-o prog.oom]
     omnicc run      prog.c|prog.oom [--arch mips|sparc|ppc|x86|omnivm]
-                    [--no-sfi] [--cycles]
+                    [--no-sfi] [--cycles] [--stats]
+    omnicc stats    prog.c|prog.oom [--arch all|mips|...] [--json]
     omnicc disasm   prog.oom [--function main]
     omnicc asm      prog.s [-o prog.oof]
     omnicc bench    [--table 1|2|3|4|5|6] [--figure 1]
@@ -21,9 +22,11 @@ reproduced table from the paper.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from repro import metrics
 from repro.compiler import CompileOptions, compile_to_object
 from repro.errors import ReproError
 from repro.lang2.compiler import compile_minilisp
@@ -103,22 +106,106 @@ def cmd_link(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    program = _program_from_path(args.module, args.opt)
-    if args.arch == "omnivm":
-        code, host = run_module(program)
-        sys.stdout.write(host.output_text())
-        if args.cycles:
-            print(f"\n[omnivm] exit={code}", file=sys.stderr)
-        return code & 0xFF
-    options = TranslationOptions(sfi=not args.no_sfi)
-    code, module = run_on_target(program, args.arch, options)
-    sys.stdout.write(module.host.output_text())
-    if args.cycles:
-        machine = module.machine
-        print(f"\n[{args.arch}] exit={code} instructions={machine.instret} "
-              f"cycles={machine.cycles} sfi={'on' if options.sfi else 'off'}",
+    collector = metrics.MetricsCollector()
+    with metrics.collect(collector):
+        program = _program_from_path(args.module, args.opt)
+        if args.arch == "omnivm":
+            code, host = run_module(program)
+            sys.stdout.write(host.output_text())
+            if args.cycles:
+                print(f"\n[omnivm] exit={code}", file=sys.stderr)
+        else:
+            options = TranslationOptions(sfi=not args.no_sfi)
+            code, module = run_on_target(program, args.arch, options)
+            sys.stdout.write(module.host.output_text())
+            if args.cycles:
+                machine = module.machine
+                print(
+                    f"\n[{args.arch}] exit={code} "
+                    f"instructions={machine.instret} "
+                    f"cycles={machine.cycles} "
+                    f"sfi={'on' if options.sfi else 'off'}",
+                    file=sys.stderr)
+    if args.stats:
+        print(f"\n[{args.arch}] pipeline stats\n{collector.render()}",
               file=sys.stderr)
     return code & 0xFF
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Pipeline telemetry for one module: per-stage wall times, SFI
+    check counts, and static/dynamic code expansion, per target."""
+    compile_collector = metrics.MetricsCollector()
+    with metrics.collect(compile_collector):
+        program = _program_from_path(args.module, args.opt)
+    options = TranslationOptions(sfi=not args.no_sfi)
+    archs = ARCHITECTURES if args.arch == "all" else (args.arch,)
+
+    # Reference run: the dynamic-expansion denominator (Figure 1).
+    omni_collector = metrics.MetricsCollector()
+    with metrics.collect(omni_collector):
+        run_module(program)
+    omni_instret = omni_collector.counters.get("execute.omni.instret", 0)
+
+    per_arch: dict[str, metrics.MetricsCollector] = {}
+    report: dict = {
+        "module": args.module,
+        "omni_instrs": len(program.instrs),
+        "omni_instret": omni_instret,
+        "sfi": options.sfi,
+        "compile": compile_collector.to_dict(),
+        "targets": {},
+    }
+    for arch in archs:
+        collector = metrics.MetricsCollector()
+        with metrics.collect(collector):
+            run_on_target(program, arch, options)
+        per_arch[arch] = collector
+        payload = collector.to_dict()
+        counters = collector.counters
+        native_instret = counters.get("execute.native.instret", 0)
+        payload["dynamic_expansion_ratio"] = (
+            native_instret / omni_instret if omni_instret else None
+        )
+        report["targets"][arch] = payload
+
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+
+    print(f"module: {args.module}  ({len(program.instrs)} OmniVM "
+          f"instructions, {omni_instret} interpreted, "
+          f"sfi={'on' if options.sfi else 'off'})")
+    print("\ncompile stages:")
+    for name in sorted(compile_collector.stage_seconds):
+        print(f"  {name:<16} {compile_collector.stage_seconds[name] * 1e3:9.3f} ms")
+    header = (f"{'arch':<6} {'verify(ms)':>10} {'transl(ms)':>11} "
+              f"{'sfiver(ms)':>11} {'exec(ms)':>9} {'expand':>7} "
+              f"{'dyn-exp':>8} {'sfi-inl':>8} {'sfi-chk':>8} {'sfi-exec':>9}")
+    print(f"\n{header}")
+    for arch in archs:
+        collector = per_arch[arch]
+        seconds = collector.stage_seconds
+        counters = collector.counters
+        native_instret = counters.get("execute.native.instret", 0)
+        dyn = native_instret / omni_instret if omni_instret else 0.0
+        checks = (counters.get("verify.sfi.stores_checked", 0)
+                  + counters.get("verify.sfi.ijumps_checked", 0))
+        print(f"{arch:<6} "
+              f"{seconds.get('verify.module', 0.0) * 1e3:10.3f} "
+              f"{seconds.get('translate', 0.0) * 1e3:11.3f} "
+              f"{seconds.get('verify.sfi', 0.0) * 1e3:11.3f} "
+              f"{seconds.get('execute', 0.0) * 1e3:9.3f} "
+              f"{collector.expansion_ratio() or 0.0:7.2f} "
+              f"{dyn:8.2f} "
+              f"{counters.get('translate.static.sfi', 0):8d} "
+              f"{checks:8d} "
+              f"{counters.get('execute.sfi.dynamic', 0):9d}")
+    print("\n(expand = static native/OmniVM instruction ratio; dyn-exp = "
+          "dynamic; sfi-inl = SFI instructions inlined;\n sfi-chk = "
+          "stores+indirect jumps the SFI verifier checked; sfi-exec = "
+          "SFI instructions retired)")
+    return 0
 
 
 def cmd_disasm(args: argparse.Namespace) -> int:
@@ -177,8 +264,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-sfi", action="store_true")
     p.add_argument("--cycles", action="store_true",
                    help="print execution statistics to stderr")
+    p.add_argument("--stats", action="store_true",
+                   help="print pipeline metrics (per-stage timings, "
+                        "counters) to stderr")
     p.add_argument("-O", "--opt", type=int, default=2, choices=(0, 1, 2))
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "stats",
+        help="per-stage pipeline telemetry for a module across targets")
+    p.add_argument("module", help="source file, .oof object, or .oom module")
+    p.add_argument("--arch", default="all",
+                   choices=("all",) + tuple(ARCHITECTURES))
+    p.add_argument("--no-sfi", action="store_true")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON")
+    p.add_argument("-O", "--opt", type=int, default=2, choices=(0, 1, 2))
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("disasm", help="disassemble a module")
     p.add_argument("module")

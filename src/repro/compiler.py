@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import metrics
 from repro.frontend.lexer import tokenize
 from repro.frontend.parser import Parser
 from repro.frontend.sema import SemanticAnalyzer
@@ -43,16 +44,22 @@ class CompileOptions:
 def compile_to_ir(source: str, options: CompileOptions | None = None) -> Module:
     """Front half of the pipeline: source to optimized IR."""
     options = options or CompileOptions()
-    parser = Parser(tokenize(source, f"<{options.module_name}>"))
-    unit = parser.parse_translation_unit()
-    SemanticAnalyzer(parser.struct_types).analyze(unit)
-    module = build_module(unit, options.module_name, parser.struct_types)
-    verify_module(module)
+    with metrics.stage("frontend.lex"):
+        tokens = tokenize(source, f"<{options.module_name}>")
+    with metrics.stage("frontend.parse"):
+        parser = Parser(tokens)
+        unit = parser.parse_translation_unit()
+    with metrics.stage("frontend.sema"):
+        SemanticAnalyzer(parser.struct_types).analyze(unit)
+    with metrics.stage("ir.build"):
+        module = build_module(unit, options.module_name, parser.struct_types)
+        verify_module(module)
     optimize_module(module, OptOptions(level=options.opt_level))
     # Addressing-mode selection + cleanup of folded-through adds.
-    for func in module.functions:
-        addrfold.run(func)
-        dce.run(func)
+    with metrics.stage("opt.addrfold"):
+        for func in module.functions:
+            addrfold.run(func)
+            dce.run(func)
     return module
 
 
@@ -82,4 +89,5 @@ def compile_and_link(
         )
         objects.append(compile_to_object(source, unit_options))
     objects.extend(extra_objects or [])
-    return link(objects, name=options.module_name, entry_symbol=entry_symbol)
+    return link(objects, name=options.module_name,
+                entry_symbol=entry_symbol)

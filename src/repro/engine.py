@@ -1,0 +1,238 @@
+"""The unified Engine facade over the mobile-code pipeline.
+
+Historically callers juggled three free functions —
+``compile_and_link`` / ``load_for_target`` / ``run_on_target`` — plus a
+bag of options objects.  :class:`Engine` packages the whole
+compile → verify → translate → execute pipeline behind one object that
+owns the three cross-cutting concerns the free functions could not:
+
+* a **target** and **profile** chosen once instead of threaded through
+  every call (``target=None`` means the reference interpreter, exactly
+  as a host without a translator would run the module);
+* a content-addressed **translation cache**
+  (:class:`~repro.cache.TranslationCache`) shared across every load, so
+  re-running a module skips verification and translation entirely;
+* a **metrics collector** (:class:`~repro.metrics.MetricsCollector`)
+  that accumulates per-stage wall times, instruction counts, SFI check
+  counts, and expansion ratios across everything the engine does.
+
+Quick start::
+
+    from repro import Engine, MOBILE_SFI
+
+    engine = Engine(target="mips", profile=MOBILE_SFI)
+    program = engine.compile("int main() { emit_int(42); return 0; }")
+    code, module = engine.run(program)       # translated, SFI on
+    code, module = engine.run(program)       # warm: served from cache
+    print(engine.stats_text())               # timings, counters, ratios
+
+The legacy free functions remain as thin delegating shims with
+unchanged behaviour.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Sequence
+
+from repro import metrics
+from repro.cache import TranslationCache
+from repro.compiler import CompileOptions, compile_and_link
+from repro.native.profiles import MOBILE_SFI, PROFILES
+from repro.omnivm.linker import LinkedProgram
+from repro.omnivm.objfile import ObjectModule
+from repro.runtime.host import Host
+from repro.runtime.loader import LoadedModule, load_for_interpretation
+from repro.runtime.native_loader import NativeModule, load_for_target
+from repro.translators import ARCHITECTURES, translate
+from repro.translators.base import TranslatedModule, TranslationOptions
+
+#: Pseudo-target naming the reference interpreter.
+INTERPRETER = "omnivm"
+
+
+class Engine:
+    """One object fronting the compile → load → translate → run pipeline.
+
+    Parameters
+    ----------
+    target:
+        Default execution target: one of
+        :data:`~repro.translators.ARCHITECTURES`, ``"omnivm"``, or
+        ``None`` (both mean the reference interpreter).  Every method
+        taking a ``target`` argument can override it per call.
+    profile:
+        Default :class:`TranslationOptions` — an options value or a
+        profile name from :data:`repro.native.profiles.PROFILES`
+        (e.g. ``"mobile-sfi"``).  Defaults to :data:`MOBILE_SFI`.
+    cache:
+        A :class:`TranslationCache` to share, ``None`` for a fresh
+        private cache, or ``False`` to disable caching.
+    compile_options:
+        Default :class:`CompileOptions` for :meth:`compile`.
+    collect_metrics:
+        When True (default) the engine owns a
+        :class:`~repro.metrics.MetricsCollector` active during every
+        engine operation; see :meth:`stats`.
+    """
+
+    def __init__(
+        self,
+        target: str | None = None,
+        profile: TranslationOptions | str = MOBILE_SFI,
+        cache: "TranslationCache | None | bool" = None,
+        compile_options: CompileOptions | None = None,
+        collect_metrics: bool = True,
+    ):
+        self.target = target
+        if isinstance(profile, str):
+            profile = PROFILES[profile]
+        self.profile = profile
+        if cache is False:
+            self.cache: TranslationCache | None = None
+        elif cache is None or cache is True:
+            self.cache = TranslationCache()
+        else:
+            self.cache = cache
+        self.compile_options = compile_options or CompileOptions()
+        self.metrics: metrics.MetricsCollector | None = (
+            metrics.MetricsCollector() if collect_metrics else None
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _collecting(self):
+        if self.metrics is None:
+            return nullcontext()
+        return metrics.collect(self.metrics)
+
+    def _resolve_target(self, target: str | None) -> str:
+        target = target if target is not None else self.target
+        return INTERPRETER if target is None else target
+
+    def _resolve_options(
+        self, options: TranslationOptions | str | None
+    ) -> TranslationOptions:
+        if options is None:
+            return self.profile
+        if isinstance(options, str):
+            return PROFILES[options]
+        return options
+
+    # -- pipeline stages ------------------------------------------------------
+
+    def compile(
+        self,
+        sources: str | Sequence[str],
+        options: CompileOptions | None = None,
+        entry_symbol: str = "main",
+        extra_objects: list[ObjectModule] | None = None,
+    ) -> LinkedProgram:
+        """Compile MiniC translation unit(s) and link them into a
+        mobile module (accepts one source string or a sequence)."""
+        if isinstance(sources, str):
+            sources = [sources]
+        with self._collecting():
+            return compile_and_link(
+                list(sources),
+                options or self.compile_options,
+                entry_symbol=entry_symbol,
+                extra_objects=extra_objects,
+            )
+
+    def translate(
+        self,
+        program: LinkedProgram,
+        target: str | None = None,
+        options: TranslationOptions | str | None = None,
+    ) -> TranslatedModule:
+        """Load-time translation for *target* (cache-aware).
+
+        Raises :class:`~repro.errors.UnknownArchitectureError` when the
+        resolved target has no translator (including ``"omnivm"`` — the
+        interpreter is not a translation target).
+        """
+        arch = self._resolve_target(target)
+        opts = self._resolve_options(options)
+        with self._collecting():
+            if self.cache is not None:
+                cached = self.cache.get(program, arch, opts)
+                if cached is not None:
+                    return cached
+            translated = translate(program, arch, opts)
+            if self.cache is not None:
+                self.cache.put(program, arch, opts, translated)
+            return translated
+
+    def load(
+        self,
+        program: LinkedProgram,
+        target: str | None = None,
+        options: TranslationOptions | str | None = None,
+        host: Host | None = None,
+        verify: bool = True,
+    ) -> LoadedModule | NativeModule:
+        """Verify and load *program* for execution: a
+        :class:`NativeModule` for a translated target, a
+        :class:`LoadedModule` for the interpreter."""
+        arch = self._resolve_target(target)
+        with self._collecting():
+            if arch == INTERPRETER:
+                return load_for_interpretation(program, host, verify=verify)
+            return load_for_target(
+                program, arch, self._resolve_options(options), host,
+                verify=verify, cache=self.cache,
+            )
+
+    def run(
+        self,
+        program: "LinkedProgram | str | Sequence[str]",
+        target: str | None = None,
+        options: TranslationOptions | str | None = None,
+        entry: str | None = None,
+        host: Host | None = None,
+    ) -> tuple[int, LoadedModule | NativeModule]:
+        """Compile (when given source text), load, and execute; returns
+        ``(exit code, loaded module)``.  The module exposes ``.host``
+        for the program's emitted output."""
+        if not isinstance(program, LinkedProgram):
+            program = self.compile(program)
+        module = self.load(program, target, options, host)
+        with self._collecting():
+            code = module.run(entry)
+        return code, module
+
+    # -- measurement ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Accumulated pipeline metrics plus cache counters as a
+        JSON-ready dict."""
+        payload: dict = (
+            self.metrics.to_dict() if self.metrics is not None
+            else {"counters": {}, "stage_seconds": {}, "stage_calls": {}}
+        )
+        if self.cache is not None:
+            payload["cache"] = self.cache.stats().to_dict()
+            payload["cache_entries"] = len(self.cache)
+        return payload
+
+    def stats_text(self) -> str:
+        """Human-readable metrics report (the CLI's ``--stats`` body)."""
+        lines = []
+        if self.metrics is not None:
+            lines.append(self.metrics.render())
+        if self.cache is not None:
+            stats = self.cache.stats()
+            lines.append(
+                f"translation cache: {stats.hits} hits "
+                f"({stats.disk_hits} from disk), {stats.misses} misses, "
+                f"{stats.evictions} evictions, {len(self.cache)} resident"
+            )
+        return "\n".join(lines)
+
+    def reset_stats(self) -> None:
+        if self.metrics is not None:
+            self.metrics.reset()
+
+
+__all__ = ["ARCHITECTURES", "Engine", "INTERPRETER"]

@@ -93,6 +93,29 @@ class TranslationError(ReproError):
     """The load-time translator could not translate a module."""
 
 
+class UnknownArchitectureError(ReproError, KeyError):
+    """A caller named a target architecture no translator is registered
+    for.
+
+    Raised from one place — the translator registry — so the compiler
+    driver, both loaders, the Engine facade, and the CLI all report the
+    same error with the list of supported architectures.  Subclasses
+    :class:`KeyError` for compatibility with callers that treated the
+    registry as a plain dict.
+    """
+
+    def __init__(self, arch: object, known: tuple[str, ...] = ()):
+        self.arch = arch
+        self.known = tuple(known)
+        message = f"unknown target architecture {arch!r}"
+        if self.known:
+            message += f"; supported: {', '.join(self.known)}"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]
+
+
 class RegAllocError(ReproError):
     """Register allocation failed (e.g. too few registers for the ABI)."""
 

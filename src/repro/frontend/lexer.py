@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import metrics
 from repro.errors import LexError, SourceLocation
 
 KEYWORDS = {
@@ -313,4 +314,7 @@ class Lexer:
 
 def tokenize(source: str, filename: str = "<input>") -> list[Token]:
     """Convenience wrapper: lex *source* into a token list."""
-    return Lexer(source, filename).tokenize()
+    tokens = Lexer(source, filename).tokenize()
+    if metrics.active():
+        metrics.count("frontend.tokens", len(tokens))
+    return tokens

@@ -1,0 +1,213 @@
+"""Pipeline metrics: counters and timers for the mobile-code pipeline.
+
+The paper's evaluation rests on precise per-stage measurements — how long
+load-time translation takes, how many SFI sequences the translator
+inlines, how many of them the module actually executes, how much the
+code expands (Figure 1).  This module is the measurement substrate: a
+tiny counter/timer registry threaded through the compiler front end, the
+optimizer, the code generator, the verifiers, the translators, and both
+execution engines.
+
+Design constraints:
+
+* **zero cost when idle** — every instrumentation point first asks
+  :func:`active`, which is one global list check, so the hot paths
+  (translation, simulation) pay one ``if`` when nobody is measuring;
+* **no global mutable results** — measurements accumulate into an
+  explicitly installed :class:`MetricsCollector`; nesting is allowed
+  (an :class:`~repro.engine.Engine` collector and an ad-hoc one can be
+  active at once) and every active collector observes every event;
+* **no dependencies** — this module imports only the standard library,
+  so any layer of the package may import it without cycles.
+
+Usage::
+
+    from repro import metrics
+
+    collector = metrics.MetricsCollector()
+    with metrics.collect(collector):
+        program = compile_and_link([source])
+        run_on_target(program, "mips")
+    print(collector.render())
+
+Stage names are dotted paths (``frontend.lex``, ``translate``,
+``verify.sfi``, ``execute``); counters likewise (``translate.native_instrs``,
+``execute.sfi.dynamic``, ``cache.hit``).  See DESIGN.md §"Engine, cache
+and metrics" for the full vocabulary.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "MetricsCollector",
+    "active",
+    "collect",
+    "count",
+    "current",
+    "stage",
+]
+
+
+class MetricsCollector:
+    """Accumulates named counters and per-stage wall-clock timings."""
+
+    __slots__ = ("counters", "stage_seconds", "stage_calls")
+
+    def __init__(self) -> None:
+        #: name -> accumulated integer count
+        self.counters: dict[str, int] = {}
+        #: stage name -> accumulated wall seconds
+        self.stage_seconds: dict[str, float] = {}
+        #: stage name -> number of times the stage ran
+        self.stage_calls: dict[str, int] = {}
+
+    # -- recording ------------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record_stage(self, name: str, seconds: float) -> None:
+        self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
+        self.stage_calls[name] = self.stage_calls.get(name, 0) + 1
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_stage(name, time.perf_counter() - start)
+
+    def merge(self, other: "MetricsCollector") -> None:
+        """Fold *other*'s measurements into this collector."""
+        for name, amount in other.counters.items():
+            self.count(name, amount)
+        for name, seconds in other.stage_seconds.items():
+            self.stage_seconds[name] = (
+                self.stage_seconds.get(name, 0.0) + seconds
+            )
+            self.stage_calls[name] = (
+                self.stage_calls.get(name, 0) + other.stage_calls.get(name, 0)
+            )
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.stage_seconds.clear()
+        self.stage_calls.clear()
+
+    # -- derived quantities ---------------------------------------------------
+
+    def expansion_ratio(self) -> float | None:
+        """Static code expansion: native instructions per OmniVM
+        instruction over everything translated while collecting."""
+        omni = self.counters.get("translate.omni_instrs", 0)
+        native = self.counters.get("translate.native_instrs", 0)
+        return (native / omni) if omni else None
+
+    def dynamic_expansion_ratio(self) -> float | None:
+        """Dynamic expansion: native instructions retired per OmniVM
+        instruction the same program retires on the reference VM (needs
+        both engines to have run while collecting)."""
+        omni = self.counters.get("execute.omni.instret", 0)
+        native = self.counters.get("execute.native.instret", 0)
+        return (native / omni) if omni else None
+
+    # -- export ---------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "counters": dict(sorted(self.counters.items())),
+            "stage_seconds": dict(sorted(self.stage_seconds.items())),
+            "stage_calls": dict(sorted(self.stage_calls.items())),
+        }
+        ratio = self.expansion_ratio()
+        if ratio is not None:
+            payload["expansion_ratio"] = ratio
+        dyn = self.dynamic_expansion_ratio()
+        if dyn is not None:
+            payload["dynamic_expansion_ratio"] = dyn
+        return payload
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def render(self) -> str:
+        """Human-readable report (the ``--stats`` output)."""
+        lines = []
+        if self.stage_seconds:
+            lines.append("stage timings:")
+            width = max(len(name) for name in self.stage_seconds)
+            for name in sorted(self.stage_seconds):
+                seconds = self.stage_seconds[name]
+                calls = self.stage_calls.get(name, 1)
+                lines.append(
+                    f"  {name.ljust(width)}  {seconds * 1e3:10.3f} ms"
+                    f"  ({calls} call{'s' if calls != 1 else ''})"
+                )
+        if self.counters:
+            lines.append("counters:")
+            width = max(len(name) for name in self.counters)
+            for name in sorted(self.counters):
+                lines.append(f"  {name.ljust(width)}  {self.counters[name]}")
+        ratio = self.expansion_ratio()
+        if ratio is not None:
+            lines.append(f"static expansion ratio:  {ratio:.2f}")
+        dyn = self.dynamic_expansion_ratio()
+        if dyn is not None:
+            lines.append(f"dynamic expansion ratio: {dyn:.2f}")
+        return "\n".join(lines) if lines else "(no measurements)"
+
+
+#: Stack of active collectors; module-level so instrumentation points can
+#: test "anyone listening?" with one truthiness check.
+_ACTIVE: list[MetricsCollector] = []
+
+
+def active() -> bool:
+    """True when at least one collector is installed."""
+    return bool(_ACTIVE)
+
+
+def current() -> MetricsCollector | None:
+    """The innermost active collector, or None."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def collect(collector: MetricsCollector | None = None
+            ) -> Iterator[MetricsCollector]:
+    """Install *collector* (a fresh one when omitted) for the duration
+    of the ``with`` block and yield it."""
+    collector = collector or MetricsCollector()
+    _ACTIVE.append(collector)
+    try:
+        yield collector
+    finally:
+        _ACTIVE.remove(collector)
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Add *amount* to counter *name* on every active collector."""
+    for collector in _ACTIVE:
+        collector.count(name, amount)
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Time the enclosed block as pipeline stage *name* (no-op when no
+    collector is active)."""
+    if not _ACTIVE:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        for collector in _ACTIVE:
+            collector.record_stage(name, elapsed)

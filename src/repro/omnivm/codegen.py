@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import metrics
 from repro.errors import CompileError
 from repro.ir import ir
 from repro.ir.cfg import block_order_for_layout
@@ -824,10 +825,13 @@ def generate_object(
     """Generate an OmniVM object module from an IR module."""
     regfile = regfile or omnivm_register_file(num_regs)
     obj = ObjectModule(module.name)
-    _emit_globals(module, obj)
-    for index, func in enumerate(module.functions):
-        emitter = FunctionEmitter(func, obj, regfile, index)
-        emitter.run()
+    with metrics.stage("codegen"):
+        _emit_globals(module, obj)
+        for index, func in enumerate(module.functions):
+            emitter = FunctionEmitter(func, obj, regfile, index)
+            emitter.run()
+    if metrics.active():
+        metrics.count("codegen.omni_instrs", len(obj.text))
     return obj
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import metrics
 from repro.errors import (
     AccessViolation,
     FuelExhausted,
@@ -132,6 +133,15 @@ class OmniVM:
         sentinel = 0
         state.regs[REG_RA] = sentinel
         instrs = self.program.instrs
+        start_instret = state.instret
+        try:
+            return self._run_loop(state, instrs, sentinel)
+        finally:
+            if metrics.active():
+                metrics.count("execute.omni.instret",
+                              state.instret - start_instret)
+
+    def _run_loop(self, state, instrs, sentinel) -> int:
         while not state.halted:
             if state.pc == sentinel:
                 break

@@ -15,6 +15,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
+from repro import metrics
 from repro.errors import LinkError
 from repro.omnivm.encoding import encode_program
 from repro.omnivm.isa import INSTR_SIZE, VMInstr
@@ -63,6 +64,12 @@ class LinkedProgram:
 def link(objects: list[ObjectModule], name: str = "a.out",
          entry_symbol: str = "main") -> LinkedProgram:
     """Link *objects* into an executable module."""
+    with metrics.stage("link"):
+        return _link(objects, name, entry_symbol)
+
+
+def _link(objects: list[ObjectModule], name: str,
+          entry_symbol: str) -> LinkedProgram:
     program = LinkedProgram(name, entry_symbol=entry_symbol)
 
     # Pass 1: lay out text and data, building the global symbol table.

@@ -19,6 +19,7 @@ closes at run time by masking the target register (see
 
 from __future__ import annotations
 
+from repro import metrics
 from repro.errors import VerifyError
 from repro.omnivm.isa import INSTR_SIZE, SPEC_BY_NAME
 from repro.omnivm.linker import LinkedProgram
@@ -28,6 +29,13 @@ from repro.runtime import hostapi
 
 def verify_program(program: LinkedProgram) -> None:
     """Raise :class:`VerifyError` if *program* fails load-time checks."""
+    with metrics.stage("verify.module"):
+        _verify_program(program)
+    if metrics.active():
+        metrics.count("verify.module.instrs", len(program.instrs))
+
+
+def _verify_program(program: LinkedProgram) -> None:
     code_size = len(program.instrs) * INSTR_SIZE
     if code_size > DEFAULT_SEGMENT_SIZE:
         raise VerifyError("code image exceeds the code segment")

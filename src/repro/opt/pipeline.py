@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import metrics
 from repro.ir.ir import Function, Module, verify_module
 from repro.opt import constfold, dce, licm, localopt, simplifycfg, strength
 
@@ -65,7 +66,11 @@ def optimize_function(func: Function, options: OptOptions | None = None) -> int:
 def optimize_module(module: Module, options: OptOptions | None = None) -> int:
     """Optimize every function in *module*; verifies the result."""
     total = 0
-    for func in module.functions:
-        total += optimize_function(func, options)
-    verify_module(module)
+    with metrics.stage("opt"):
+        for func in module.functions:
+            total += optimize_function(func, options)
+        verify_module(module)
+    if metrics.active():
+        metrics.count("opt.functions", len(module.functions))
+        metrics.count("opt.changes", total)
     return total

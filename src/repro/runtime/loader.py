@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import metrics
 from repro.omnivm.interp import OmniVM
 from repro.omnivm.linker import LinkedProgram
 from repro.omnivm.memory import (
@@ -69,7 +70,8 @@ class LoadedModule:
     host: Host
 
     def run(self, entry: str | None = None) -> int:
-        return self.vm.run(entry)
+        with metrics.stage("execute"):
+            return self.vm.run(entry)
 
 
 def load_for_interpretation(

@@ -13,7 +13,9 @@ the benchmark harness.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from repro import metrics
 from repro.omnivm.linker import LinkedProgram
 from repro.omnivm.memory import Memory, standard_module_memory
 from repro.omnivm.verifier import verify_program
@@ -22,6 +24,9 @@ from repro.targets.base import TargetMachine
 from repro.translators import TranslatedModule, TranslationOptions, translate
 from repro.translators.base import initial_register_state
 from repro.utils.bits import s32, u32
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache import TranslationCache
 
 
 class _TargetAdapter(MachineAdapter):
@@ -72,7 +77,8 @@ class NativeModule:
             entry_native = self.translated.omni_to_native[
                 CODE_BASE + start * INSTR_SIZE
             ]
-        return self.machine.run(entry_native)
+        with metrics.stage("execute"):
+            return self.machine.run(entry_native)
 
 
 def load_for_target(
@@ -83,15 +89,27 @@ def load_for_target(
     verify: bool = True,
     fuel: int = 500_000_000,
     memory: Memory | None = None,
+    cache: "TranslationCache | None" = None,
 ) -> NativeModule:
-    """Translate *program* for *arch* and prepare it for execution."""
-    if verify:
-        verify_program(program)
-    translated = translate(program, arch, options)
-    if verify and translated.options.sfi:
-        from repro.sfi.verifier import verify_sfi
+    """Translate *program* for *arch* and prepare it for execution.
 
-        verify_sfi(translated)
+    With a :class:`~repro.cache.TranslationCache`, a content-addressed
+    hit returns the previously verified translation and skips module
+    verification, translation, and SFI verification entirely (the cached
+    code was verified when it entered the cache).
+    """
+    translated = cache.get(program, arch, options) if cache is not None \
+        else None
+    if translated is None:
+        if verify:
+            verify_program(program)
+        translated = translate(program, arch, options)
+        if verify and translated.options.sfi:
+            from repro.sfi.verifier import verify_sfi
+
+            verify_sfi(translated)
+        if cache is not None:
+            cache.put(program, arch, options, translated)
     if memory is None:
         memory = standard_module_memory(
             program.text_image, bytes(program.data_image)
@@ -121,8 +139,9 @@ def run_on_target(
     arch: str,
     options: TranslationOptions | None = None,
     host: Host | None = None,
+    cache: "TranslationCache | None" = None,
 ) -> tuple[int, NativeModule]:
     """Translate, load, run; returns (exit code, loaded module)."""
-    module = load_for_target(program, arch, options, host)
+    module = load_for_target(program, arch, options, host, cache=cache)
     code = module.run()
     return code, module

@@ -32,6 +32,7 @@ to a raw register) are rejected.
 
 from __future__ import annotations
 
+from repro import metrics
 from repro.errors import VerifyError
 from repro.omnivm.memory import SANDBOX_BASE, SANDBOX_MASK
 from repro.sfi.policy import DEFAULT_POLICY, SandboxPolicy
@@ -52,6 +53,20 @@ _CODE_SANDBOXED = 4
 def verify_sfi(module: TranslatedModule,
                policy: SandboxPolicy = DEFAULT_POLICY) -> None:
     """Check the SFI invariant over a translated module."""
+    with metrics.stage("verify.sfi"):
+        stores, ijumps = _verify_sfi(module, policy)
+    if metrics.active():
+        metrics.count("verify.sfi.instrs", len(module.instrs))
+        metrics.count("verify.sfi.stores_checked", stores)
+        metrics.count("verify.sfi.ijumps_checked", ijumps)
+
+
+def _verify_sfi(module: TranslatedModule,
+                policy: SandboxPolicy) -> tuple[int, int]:
+    """Linear-scan verification proper; returns (stores checked,
+    indirect jumps checked) for the metrics layer."""
+    stores_checked = 0
+    ijumps_checked = 0
     spec = module.spec
     reserved = spec.reserved
     at = reserved["at"]
@@ -87,6 +102,7 @@ def verify_sfi(module: TranslatedModule,
                 )
         # Rule 2: stores.
         if instr.op in _STORE_OPS:
+            stores_checked += 1
             if instr.rs == sp and -32768 <= instr.imm <= 32767:
                 pass
             elif instr.rs == at and state == _DATA_SANDBOXED and instr.imm == 0:
@@ -97,6 +113,7 @@ def verify_sfi(module: TranslatedModule,
                     f"address register r{instr.rs}"
                 )
         elif instr.op in _STOREX_OPS:
+            stores_checked += 1
             base_ok = (
                 instr.rs == reserved.get("sfi_base")
                 and instr.rd == at
@@ -109,6 +126,7 @@ def verify_sfi(module: TranslatedModule,
                 )
         # Rule 3: indirect control transfers.
         if instr.op in ("jr", "jalr"):
+            ijumps_checked += 1
             ra_reg = reserved.get("ra", -1)
             through_sandbox = instr.rs == at and state == _CODE_SANDBOXED
             # Returns through the link register are produced by trusted
@@ -124,6 +142,7 @@ def verify_sfi(module: TranslatedModule,
                 pass  # without SFI there is nothing to enforce
         # Update the abstract state of the scratch register.
         state = _next_state(instr, at, reserved, policy, state)
+    return stores_checked, ijumps_checked
 
 
 def _int_writes(instr: MInstr) -> list[int]:

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import metrics
 from repro.errors import (
     AccessViolation,
     FuelExhausted,
@@ -375,6 +376,22 @@ class TargetMachine:
     # -- main loop ------------------------------------------------------------------
 
     def run(self, entry_native_index: int) -> int:
+        start_instret = self.instret
+        start_cycles = self.cycles
+        start_sfi = self.category_counts.get("sfi", 0)
+        try:
+            return self._run(entry_native_index)
+        finally:
+            if metrics.active():
+                metrics.count("execute.native.instret",
+                              self.instret - start_instret)
+                metrics.count("execute.native.cycles",
+                              self.cycles - start_cycles)
+                sfi = self.category_counts.get("sfi", 0) - start_sfi
+                if sfi:
+                    metrics.count("execute.sfi.dynamic", sfi)
+
+    def _run(self, entry_native_index: int) -> int:
         self.pc = entry_native_index
         # The return sentinel is an in-segment, aligned module address so
         # it survives SFI masking; reaching it halts the machine.

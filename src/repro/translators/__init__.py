@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.errors import UnknownArchitectureError
 from repro.targets import mips as mips_target
 from repro.targets import ppc as ppc_target
 from repro.targets import sparc as sparc_target
@@ -27,14 +28,27 @@ _REGISTRY = {
 }
 
 
+def _lookup(arch: str):
+    """Single point of registry resolution: every unknown-architecture
+    report in the package comes from here."""
+    try:
+        return _REGISTRY[arch]
+    except (KeyError, TypeError):
+        raise UnknownArchitectureError(arch, ARCHITECTURES) from None
+
+
 def target_spec(arch: str) -> TargetSpec:
-    """Fresh TargetSpec for *arch* (raises KeyError on unknown names)."""
-    return _REGISTRY[arch][0]()
+    """Fresh TargetSpec for *arch*.
+
+    Raises :class:`~repro.errors.UnknownArchitectureError` (a
+    :class:`KeyError` subclass) on unknown names.
+    """
+    return _lookup(arch)[0]()
 
 
 def make_translator(arch: str,
                     options: TranslationOptions | None = None) -> BaseTranslator:
-    spec_factory, translator_cls = _REGISTRY[arch]
+    spec_factory, translator_cls = _lookup(arch)
     return translator_cls(spec_factory(), options)
 
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import metrics
 from repro.errors import TranslationError
 from repro.omnivm.isa import INSTR_SIZE, VMInstr
 from repro.omnivm.linker import LinkedProgram
@@ -201,6 +202,17 @@ class BaseTranslator:
     # -- the driver ------------------------------------------------------------------
 
     def translate(self, program: LinkedProgram) -> TranslatedModule:
+        with metrics.stage("translate"):
+            module = self._translate(program)
+        if metrics.active():
+            metrics.count("translate.calls")
+            metrics.count("translate.omni_instrs", len(program.instrs))
+            metrics.count("translate.native_instrs", len(module.instrs))
+            for category, total in module.static_expansion().items():
+                metrics.count(f"translate.static.{category}", total)
+        return module
+
+    def _translate(self, program: LinkedProgram) -> TranslatedModule:
         entry_points = self._entry_points(program)
         boundaries = self._block_boundaries(program)
         module = TranslatedModule(self.spec, self.options, program=program)

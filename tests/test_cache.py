@@ -1,0 +1,206 @@
+"""The content-addressed translation cache."""
+
+import pytest
+
+from repro import metrics
+from repro.cache import (
+    TranslationCache,
+    cache_key,
+    options_digest,
+    program_digest,
+)
+from repro.compiler import CompileOptions, compile_and_link
+from repro.native.profiles import MOBILE_NOSFI, MOBILE_SFI
+from repro.runtime.loader import run_module
+from repro.runtime.native_loader import load_for_target, run_on_target
+from repro.translators import translate
+from repro.translators.base import TranslationOptions
+
+SRC = "int main() { emit_int(5 + 6); return 0; }"
+OTHER_SRC = "int main() { emit_int(9); return 0; }"
+
+
+@pytest.fixture
+def program():
+    return compile_and_link([SRC])
+
+
+@pytest.fixture
+def other_program():
+    return compile_and_link([OTHER_SRC])
+
+
+class TestKeying:
+    def test_digest_is_content_addressed(self, program):
+        rebuilt = compile_and_link([SRC])
+        assert rebuilt is not program
+        assert program_digest(rebuilt) == program_digest(program)
+
+    def test_digest_differs_for_different_programs(self, program,
+                                                   other_program):
+        assert program_digest(program) != program_digest(other_program)
+
+    def test_options_sensitivity(self, program):
+        sfi_key = cache_key(program, "mips", MOBILE_SFI)
+        nosfi_key = cache_key(program, "mips", MOBILE_NOSFI)
+        assert sfi_key != nosfi_key
+        # every TranslationOptions field participates
+        assert (options_digest(TranslationOptions(sfi_reads=True))
+                != options_digest(TranslationOptions(sfi_reads=False)))
+
+    def test_arch_sensitivity(self, program):
+        assert cache_key(program, "mips", MOBILE_SFI) != cache_key(
+            program, "x86", MOBILE_SFI)
+
+    def test_none_options_means_defaults(self, program):
+        assert cache_key(program, "mips", None) == cache_key(
+            program, "mips", TranslationOptions())
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, program):
+        cache = TranslationCache()
+        assert cache.get(program, "mips", MOBILE_SFI) is None
+        translated = translate(program, "mips", MOBILE_SFI)
+        cache.put(program, "mips", MOBILE_SFI, translated)
+        assert cache.get(program, "mips", MOBILE_SFI) is translated
+        stats = cache.stats()
+        assert (stats.misses, stats.hits, stats.stores) == (1, 1, 1)
+
+    def test_rebuilt_program_hits_same_entry(self, program):
+        cache = TranslationCache()
+        cache.put(program, "mips", MOBILE_SFI,
+                  translate(program, "mips", MOBILE_SFI))
+        rebuilt = compile_and_link([SRC])
+        assert cache.get(rebuilt, "mips", MOBILE_SFI) is not None
+
+    def test_options_never_cross_contaminate(self, program):
+        cache = TranslationCache()
+        cache.put(program, "mips", MOBILE_SFI,
+                  translate(program, "mips", MOBILE_SFI))
+        assert cache.get(program, "mips", MOBILE_NOSFI) is None
+
+    def test_lru_eviction(self, program):
+        cache = TranslationCache(capacity=2)
+        for arch in ("mips", "sparc", "ppc"):
+            cache.put(program, arch, MOBILE_SFI,
+                      translate(program, arch, MOBILE_SFI))
+        assert len(cache) == 2
+        assert cache.stats().evictions == 1
+        assert cache.get(program, "mips", MOBILE_SFI) is None  # oldest out
+        assert cache.get(program, "ppc", MOBILE_SFI) is not None
+
+    def test_lru_refresh_on_hit(self, program):
+        cache = TranslationCache(capacity=2)
+        cache.put(program, "mips", MOBILE_SFI,
+                  translate(program, "mips", MOBILE_SFI))
+        cache.put(program, "sparc", MOBILE_SFI,
+                  translate(program, "sparc", MOBILE_SFI))
+        cache.get(program, "mips", MOBILE_SFI)  # refresh mips
+        cache.put(program, "ppc", MOBILE_SFI,
+                  translate(program, "ppc", MOBILE_SFI))
+        assert cache.get(program, "mips", MOBILE_SFI) is not None
+        assert cache.get(program, "sparc", MOBILE_SFI) is None
+
+    def test_invalidate_by_program(self, program, other_program):
+        cache = TranslationCache()
+        cache.put(program, "mips", MOBILE_SFI,
+                  translate(program, "mips", MOBILE_SFI))
+        cache.put(other_program, "mips", MOBILE_SFI,
+                  translate(other_program, "mips", MOBILE_SFI))
+        assert cache.invalidate(program=program) == 1
+        assert cache.get(program, "mips", MOBILE_SFI) is None
+        assert cache.get(other_program, "mips", MOBILE_SFI) is not None
+
+    def test_clear(self, program):
+        cache = TranslationCache()
+        cache.put(program, "mips", MOBILE_SFI,
+                  translate(program, "mips", MOBILE_SFI))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestLoaderIntegration:
+    def test_warm_load_skips_verify_and_translate(self, program):
+        cache = TranslationCache()
+        with metrics.collect() as collector:
+            code1, module1 = run_on_target(program, "mips", MOBILE_SFI,
+                                           cache=cache)
+            code2, module2 = run_on_target(program, "mips", MOBILE_SFI,
+                                           cache=cache)
+        assert (code1, code2) == (0, 0)
+        assert module1.host.output_values() == module2.host.output_values()
+        # The warm load was a cache hit and ran no pipeline front half.
+        assert cache.stats().hits == 1
+        assert collector.counters["cache.hit"] == 1
+        assert collector.counters["translate.calls"] == 1
+        assert collector.stage_calls["verify.module"] == 1
+        assert collector.stage_calls["verify.sfi"] == 1
+        assert collector.stage_calls["execute"] == 2
+
+    def test_cached_translation_is_shared(self, program):
+        cache = TranslationCache()
+        module1 = load_for_target(program, "ppc", MOBILE_SFI, cache=cache)
+        module2 = load_for_target(program, "ppc", MOBILE_SFI, cache=cache)
+        assert module1.translated is module2.translated
+
+
+class TestDiskPersistence:
+    def test_round_trip_produces_identical_output(self, tmp_path, program):
+        warm_dir = tmp_path / "txcache"
+        first = TranslationCache(disk_dir=warm_dir)
+        code, fresh = run_on_target(program, "x86", MOBILE_SFI, cache=first)
+        assert code == 0
+
+        # A new process would start with an empty LRU but a warm disk.
+        second = TranslationCache(disk_dir=warm_dir)
+        code, reloaded = run_on_target(program, "x86", MOBILE_SFI,
+                                       cache=second)
+        assert code == 0
+        stats = second.stats()
+        assert stats.disk_hits == 1 and stats.hits == 1
+        assert (reloaded.host.output_values()
+                == fresh.host.output_values())
+        _code, host = run_module(program)
+        assert reloaded.host.output_values() == host.output_values()
+
+    def test_disk_entries_are_options_sensitive(self, tmp_path, program):
+        warm_dir = tmp_path / "txcache"
+        first = TranslationCache(disk_dir=warm_dir)
+        first.put(program, "mips", MOBILE_SFI,
+                  translate(program, "mips", MOBILE_SFI))
+        second = TranslationCache(disk_dir=warm_dir)
+        assert second.get(program, "mips", MOBILE_NOSFI) is None
+        assert second.get(program, "mips", MOBILE_SFI) is not None
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path, program):
+        warm_dir = tmp_path / "txcache"
+        first = TranslationCache(disk_dir=warm_dir)
+        first.put(program, "mips", MOBILE_SFI,
+                  translate(program, "mips", MOBILE_SFI))
+        for path in warm_dir.glob("*.json"):
+            path.write_text("{ not json")
+        second = TranslationCache(disk_dir=warm_dir)
+        assert second.get(program, "mips", MOBILE_SFI) is None
+
+    def test_invalidate_removes_disk_entries(self, tmp_path, program):
+        warm_dir = tmp_path / "txcache"
+        cache = TranslationCache(disk_dir=warm_dir)
+        cache.put(program, "mips", MOBILE_SFI,
+                  translate(program, "mips", MOBILE_SFI))
+        assert list(warm_dir.glob("*.json"))
+        cache.invalidate(program=program)
+        assert not list(warm_dir.glob("*.json"))
+        assert TranslationCache(disk_dir=warm_dir).get(
+            program, "mips", MOBILE_SFI) is None
+
+    def test_num_regs_variants_are_distinct(self, tmp_path):
+        # Different register-file sizes produce different programs and
+        # must occupy different cache entries (Table 2 sweep safety).
+        cache = TranslationCache()
+        p16 = compile_and_link([SRC], CompileOptions(num_regs=16))
+        p8 = compile_and_link([SRC], CompileOptions(num_regs=8))
+        cache.put(p16, "mips", MOBILE_SFI,
+                  translate(p16, "mips", MOBILE_SFI))
+        if program_digest(p8) != program_digest(p16):
+            assert cache.get(p8, "mips", MOBILE_SFI) is None

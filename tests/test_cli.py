@@ -1,8 +1,11 @@
 """The omnicc command-line toolchain."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.translators import ARCHITECTURES
 
 HELLO = 'int main() { emit_str("hi\\n"); emit_int(41 + 1); return 0; }'
 LISP = "(defun main () (emit (* 6 7)) 0)"
@@ -89,6 +92,49 @@ class TestDisasm:
         assert main(["disasm", str(src)]) == 0
         out = capsys.readouterr().out
         assert "main:" in out and "hostcall" in out
+
+
+class TestStats:
+    def test_run_stats_flag(self, src, capsys):
+        code = main(["run", str(src), "--arch", "sparc", "--stats"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out == "hi\n42"
+        assert "pipeline stats" in captured.err
+        assert "translate" in captured.err
+        assert "verify.sfi.stores_checked" in captured.err
+
+    def test_stats_subcommand_all_targets(self, src, capsys):
+        assert main(["stats", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "compile stages:" in out
+        for stage in ("frontend.lex", "codegen", "link"):
+            assert stage in out, stage
+        for arch in ARCHITECTURES:
+            assert arch in out
+        for column in ("verify(ms)", "transl(ms)", "sfiver(ms)",
+                       "exec(ms)", "expand", "sfi-chk"):
+            assert column in out
+
+    def test_stats_single_arch_json(self, src, capsys):
+        assert main(["stats", str(src), "--arch", "mips", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert list(report["targets"]) == ["mips"]
+        target = report["targets"]["mips"]
+        assert target["counters"]["verify.sfi.stores_checked"] >= 1
+        assert target["counters"]["execute.sfi.dynamic"] >= 1
+        assert target["expansion_ratio"] > 1.0
+        assert target["dynamic_expansion_ratio"] > 1.0
+        assert "translate" in target["stage_seconds"]
+        assert report["omni_instret"] > 0
+
+    def test_stats_no_sfi(self, src, capsys):
+        assert main(["stats", str(src), "--arch", "x86", "--no-sfi",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        counters = report["targets"]["x86"]["counters"]
+        assert report["sfi"] is False
+        assert "execute.sfi.dynamic" not in counters
 
 
 class TestErrors:

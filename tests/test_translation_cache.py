@@ -1,0 +1,82 @@
+"""Tier-1 smoke of the translation-cache benchmark.
+
+``benchmarks/`` is not collected by the tier-1 suite, but the
+``BENCH_translation_cache.json`` artifact contract must not silently
+rot, so this test loads the benchmark module by path and drives
+``collect_benchmark`` / ``validate_artifact`` on a small program.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.compiler import compile_and_link
+
+BENCH_PATH = (Path(__file__).resolve().parents[1] / "benchmarks"
+              / "bench_translation_cache.py")
+
+SRC = """
+int main() {
+    int i;
+    int acc;
+    acc = 1;
+    for (i = 0; i < 10; i = i + 1) {
+        acc = acc * 2;
+    }
+    emit_int(acc);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location(
+        "bench_translation_cache", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def payload(bench):
+    program = compile_and_link([SRC])
+    return bench.collect_benchmark(program=program,
+                                   archs=("mips", "x86"), repeats=2)
+
+
+class TestBenchmarkSmoke:
+    def test_payload_validates(self, bench, payload):
+        bench.validate_artifact(payload)
+        assert payload["schema_version"] == bench.SCHEMA_VERSION
+        assert {entry["arch"] for entry in payload["results"]} \
+            == {"mips", "x86"}
+
+    def test_warm_loads_were_cache_hits(self, payload):
+        for entry in payload["results"]:
+            assert entry["cache"]["hits"] == payload["repeats"], entry["arch"]
+            # cold loads each missed (cache cleared per repetition)
+            assert entry["cache"]["misses"] == payload["repeats"]
+
+    def test_artifact_round_trips(self, bench, payload, tmp_path):
+        path = bench.write_artifact(payload,
+                                    tmp_path / "BENCH_translation_cache.json")
+        reloaded = json.loads(path.read_text())
+        bench.validate_artifact(reloaded)
+        assert reloaded == json.loads(json.dumps(payload))
+
+    def test_validator_rejects_schema_drift(self, bench, payload):
+        broken = json.loads(json.dumps(payload))
+        broken["schema_version"] = bench.SCHEMA_VERSION + 1
+        with pytest.raises(AssertionError):
+            bench.validate_artifact(broken)
+        broken = json.loads(json.dumps(payload))
+        del broken["results"][0]["warm_seconds"]
+        with pytest.raises(AssertionError):
+            bench.validate_artifact(broken)
+
+    def test_artifact_default_path_is_repo_root(self, bench):
+        assert bench.ARTIFACT_PATH.name == "BENCH_translation_cache.json"
+        assert bench.ARTIFACT_PATH.parent == BENCH_PATH.parents[1]
