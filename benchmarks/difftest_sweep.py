@@ -1,0 +1,85 @@
+"""Long-running differential-execution sweep with JSON output.
+
+Runs the difftest corpus at a much larger scale than the tier-1 smoke
+test, over several seeds, and writes a machine-readable report.  Use it
+to soak the translators after a change:
+
+.. code-block:: none
+
+    PYTHONPATH=src python benchmarks/difftest_sweep.py \
+        --programs 2000 --seeds soak-a soak-b -o sweep.json
+
+Exit status is 0 only if every seed's corpus is clean.  Divergence
+reports (with minimized repros) are embedded in the JSON; any repro
+worth keeping belongs in ``tests/test_difftest_regressions.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.difftest import run_difftest
+from repro.engine import ARCHITECTURES, Engine
+
+
+def sweep(programs: int, seeds: list[str],
+          targets: tuple[str, ...] | None, minimize: bool) -> dict:
+    engine = Engine(cache=False)
+    runs = []
+    for seed in seeds:
+        started = time.time()
+        summary = run_difftest(count=programs, seed=seed, engine=engine,
+                               targets=targets, minimize=minimize)
+        payload = summary.to_dict()
+        payload["elapsed_seconds"] = round(time.time() - started, 3)
+        runs.append(payload)
+        print(f"{summary.render()}  [{payload['elapsed_seconds']}s]",
+              file=sys.stderr)
+    counters = engine.metrics.counters if engine.metrics else {}
+    return {
+        "programs_per_seed": programs,
+        "targets": list(targets or ARCHITECTURES),
+        "runs": runs,
+        "totals": {
+            "programs": counters.get("difftest.programs", 0),
+            "divergences": counters.get("difftest.divergences", 0),
+            "shrink_steps": counters.get("difftest.shrink_steps", 0),
+        },
+        "clean": all(not run["divergence_count"] for run in runs),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--programs", type=int, default=2000,
+                        help="programs per seed (default 2000)")
+    parser.add_argument("--seeds", nargs="+",
+                        default=["sweep-0", "sweep-1", "sweep-2"],
+                        help="corpus seeds (default: three fixed seeds)")
+    parser.add_argument("--targets",
+                        help="comma-separated target subset "
+                             "(default: all four)")
+    parser.add_argument("--no-minimize", action="store_true",
+                        help="report divergences without shrinking them")
+    parser.add_argument("-o", "--output",
+                        help="write the JSON report here (default stdout)")
+    args = parser.parse_args(argv)
+
+    targets = tuple(args.targets.split(",")) if args.targets else None
+    report = sweep(args.programs, args.seeds, targets,
+                   minimize=not args.no_minimize)
+    text = json.dumps(report, indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0 if report["clean"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

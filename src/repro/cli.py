@@ -12,11 +12,15 @@ Usage (also via ``python -m repro``):
     omnicc disasm   prog.oom [--function main]
     omnicc asm      prog.s [-o prog.oof]
     omnicc bench    [--table 1|2|3|4|5|6] [--figure 1]
+    omnicc difftest [--count N] [--seed S] [--targets mips,ppc]
+                    [--json] [--no-minimize] [--stats]
 
 ``compile`` produces an Omniware object file; ``link`` produces a mobile
 module; ``run`` executes on the reference VM or a translated target
 (with SFI by default, exactly as a host would); ``bench`` prints a
-reproduced table from the paper.
+reproduced table from the paper; ``difftest`` cross-executes seeded
+random programs on the interpreter and every target simulator and
+reports any semantic divergence (exit status 1 if one is found).
 """
 
 from __future__ import annotations
@@ -208,6 +212,36 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_difftest(args: argparse.Namespace) -> int:
+    from repro.difftest import run_difftest
+    from repro.engine import Engine
+
+    targets = tuple(args.targets.split(",")) if args.targets else None
+    if targets:
+        for target in targets:
+            if target not in ARCHITECTURES:
+                print(f"omnicc: unknown target {target!r}", file=sys.stderr)
+                return 2
+    engine = Engine(cache=False)
+    summary = run_difftest(
+        count=args.count,
+        seed=args.seed,
+        targets=targets,
+        engine=engine,
+        minimize=not args.no_minimize,
+    )
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2))
+    else:
+        print(summary.render())
+        for divergence in summary.divergences:
+            print()
+            print(divergence.report())
+    if args.stats:
+        print(f"\n{engine.stats_text()}", file=sys.stderr)
+    return 0 if summary.clean else 1
+
+
 def cmd_disasm(args: argparse.Namespace) -> int:
     program = _program_from_path(args.module, 2)
     print(disassemble_program(program, args.function))
@@ -291,6 +325,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--table", type=int, choices=(1, 2, 3, 4, 5, 6))
     p.add_argument("--figure", type=int, choices=(1,))
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "difftest",
+        help="cross-execute random programs on the interpreter and the "
+             "target simulators, reporting semantic divergences")
+    p.add_argument("--count", type=int, default=500,
+                   help="number of generated programs (default 500)")
+    p.add_argument("--seed", default="difftest",
+                   help="corpus seed; same seed -> same programs")
+    p.add_argument("--targets",
+                   help="comma-separated subset of targets "
+                        "(default: all four)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the summary and divergences as JSON")
+    p.add_argument("--no-minimize", action="store_true",
+                   help="skip shrinking divergent programs")
+    p.add_argument("--stats", action="store_true",
+                   help="print engine pipeline metrics to stderr")
+    p.set_defaults(fn=cmd_difftest)
 
     return parser
 

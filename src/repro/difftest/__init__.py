@@ -1,0 +1,34 @@
+"""Differential-execution testing of OmniVM against the target simulators.
+
+The paper's central claim is that load-time translation preserves OmniVM
+semantics on every target.  This package makes that claim continuously
+testable: a seeded generator produces verifier-valid OmniVM programs, a
+harness cross-executes each one on the reference interpreter and all four
+simulated targets, and any disagreement in final register files, memory
+digest, or trap outcome is shrunk to a minimal repro by the minimizer.
+
+Entry points:
+
+* :func:`repro.difftest.harness.run_difftest` — the programmatic API;
+* ``omnicc difftest`` — the CLI front end;
+* ``benchmarks/difftest_sweep.py`` — long-running sweeps with JSON output.
+"""
+
+from repro.difftest.generator import GenProgram, ProgramGenerator
+from repro.difftest.harness import (
+    DiffSummary,
+    Divergence,
+    Outcome,
+    run_difftest,
+)
+from repro.difftest.minimize import minimize_program
+
+__all__ = [
+    "DiffSummary",
+    "Divergence",
+    "GenProgram",
+    "Outcome",
+    "ProgramGenerator",
+    "minimize_program",
+    "run_difftest",
+]

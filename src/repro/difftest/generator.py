@@ -1,0 +1,413 @@
+"""Seeded generator of verifier-valid OmniVM programs.
+
+Programs are built from a small set of templates — ALU blocks, extension
+and shift edge cases, FP arithmetic and conversions, loads/stores with
+SFI-legal address patterns, forward branches, counted loops, calls,
+indirect jumps, traps, and the virtual exception model — chosen and
+parameterized by a deterministic :class:`random.Random` stream, so any
+program is reproducible from ``(seed, index)`` alone.
+
+Structural invariants every generated program keeps (these are what make
+cross-executor comparison meaningful rather than divergence-by-design):
+
+* all memory accesses land inside the first :data:`GEN_SEGMENT_SPAN`
+  bytes of the data or heap segment (valid for any harness segment
+  size ≥ that span) or at :data:`HOLE_ADDRESS`, an address that is
+  inside the SFI sandbox but unmapped under every layout — so SFI store
+  masking is the identity and both engines observe the same fault;
+* ``r14`` (link) and ``r15`` (sp) are never general targets: the return
+  sentinel differs between the interpreter and translated code by
+  design, so the harness excludes r14 from comparison and programs
+  restore it around calls;
+* the only backward branch is the counted-loop template with a reserved
+  counter register, so every program terminates without fuel pressure;
+* the last instruction is always ``jr r14`` (return through the
+  sentinel), so execution cannot fall off the end of the code segment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.omnivm.isa import VMInstr
+from repro.omnivm.linker import LinkedProgram, link
+from repro.omnivm.memory import DATA_BASE, HEAP_BASE
+from repro.omnivm.objfile import ObjectModule
+from repro.utils.bits import s32
+
+#: Memory window the generator confines loads/stores to — programs stay
+#: valid for any module segment size >= this span.
+GEN_SEGMENT_SPAN = 1 << 16
+
+#: In-sandbox, never-mapped address (above the stack segment, below the
+#: sandbox limit) used by the exception-model template: SFI masking is
+#: the identity here, so interpreter and targets fault identically.
+HOLE_ADDRESS = 0x23800000
+
+#: Integer registers templates may freely write.  r9/r10/r12 are
+#: generator-internal (indirect-jump pointer, link save, loop counter);
+#: r14/r15 are the ABI link and stack registers.
+WRITABLE_INT_REGS = (0, 1, 2, 3, 4, 5, 6, 7, 8, 11, 13)
+REG_JTGT = 9
+REG_RASAVE = 10
+REG_LOOP = 12
+
+WRITABLE_FP_REGS = tuple(range(16))
+
+#: Interesting 32-bit values (signed canonical form for ``li``).
+INTERESTING_INTS = (
+    0, 1, 2, -1, -2, 3, 7, 8, 31, 32, 33, 255, -255,
+    0x7F, 0x80, 0xFF, 0x100, 0x7FFF, 0x8000, 0xFFFF, 0x10000,
+    0x7FFFFFFF, -0x80000000, -0x7FFFFFFF, 0x40000000, -0x40000000,
+    s32(0xDEADBEEF), s32(0xAAAAAAAA), s32(0x55555555),
+)
+
+_ALU_RR = ("add", "sub", "mul", "and", "or", "xor", "sll", "srl", "sra",
+           "seq", "sne", "slt", "sle", "sgt", "sge",
+           "sltu", "sleu", "sgtu", "sgeu")
+_ALU_RI = ("addi", "muli", "andi", "ori", "xori", "slli", "srli", "srai",
+           "seqi", "snei", "slti", "slei", "sgti", "sgei",
+           "sltui", "sleui", "sgtui", "sgeui")
+_DIV_OPS = ("div", "divu", "rem", "remu")
+_EXT_OPS = ("sext8", "sext16", "zext8", "zext16")
+_SHIFT_EDGE_AMOUNTS = (0, 1, 7, 8, 15, 16, 31, 32, 33, 63, 64, 255, -1)
+_FP_BIN = ("fadds", "fsubs", "fmuls", "faddd", "fsubd", "fmuld")
+_FP_UN = ("fnegs", "fnegd", "fabss", "fabsd", "fmovs", "fmovd")
+_FP_CMP = ("fceqs", "fclts", "fcles", "fceqd", "fcltd", "fcled")
+_BRANCH_RR = ("beq", "bne", "blt", "ble", "bgt", "bge",
+              "bltu", "bleu", "bgtu", "bgeu")
+_BRANCH_RI = ("beqi", "bnei", "blti", "blei", "bgti", "bgei",
+              "bltui", "bleui", "bgtui", "bgeui")
+
+
+@dataclass
+class GenProgram:
+    """A generated program: labelled statement list plus a data image.
+
+    ``stmts`` is a list of ``("label", name)`` / ``("instr", VMInstr)``
+    tuples — the representation the minimizer shrinks, rebuilt into a
+    :class:`LinkedProgram` on demand so label resolution stays correct
+    whatever instructions are dropped.
+    """
+
+    name: str
+    stmts: list = field(default_factory=list)
+    data: bytes = b""
+
+    def instructions(self) -> list[VMInstr]:
+        return [stmt[1] for stmt in self.stmts if stmt[0] == "instr"]
+
+    def build(self) -> LinkedProgram:
+        obj = ObjectModule(self.name)
+        obj.data = self.data
+        index = 0
+        obj.define("main", "text", 0, is_global=True)
+        for kind, payload in self.stmts:
+            if kind == "label":
+                obj.define(payload, "text", index * 8, is_global=False)
+            else:
+                obj.text.append(payload)
+                index += 1
+        return link([obj], name=self.name)
+
+    def listing(self) -> str:
+        lines = [f"# program {self.name} ({len(self.data)} data bytes)"]
+        for kind, payload in self.stmts:
+            if kind == "label":
+                lines.append(f"{payload}:")
+            else:
+                lines.append(f"    {payload}")
+        return "\n".join(lines)
+
+
+class ProgramGenerator:
+    """Deterministic program factory: ``program(i)`` depends only on
+    ``(seed, i)``."""
+
+    def __init__(self, seed: str | int = "difftest"):
+        self.seed = str(seed)
+
+    def program(self, index: int) -> GenProgram:
+        rng = random.Random(f"{self.seed}:{index}")
+        return _Builder(f"dt_{self.seed}_{index}", rng).generate()
+
+
+class _Builder:
+    def __init__(self, name: str, rng: random.Random):
+        self.rng = rng
+        self.prog = GenProgram(name)
+        self._label_counter = 0
+        self._used_handler = False
+
+    # -- emission helpers ---------------------------------------------------
+
+    def emit(self, op: str, **fields) -> None:
+        self.prog.stmts.append(("instr", VMInstr(op, **fields)))
+
+    def label(self) -> str:
+        self._label_counter += 1
+        return f"L{self._label_counter}"
+
+    def place(self, name: str) -> None:
+        self.prog.stmts.append(("label", name))
+
+    # -- random operands ----------------------------------------------------
+
+    def reg(self) -> int:
+        return self.rng.choice(WRITABLE_INT_REGS)
+
+    def freg(self) -> int:
+        return self.rng.choice(WRITABLE_FP_REGS)
+
+    def int_const(self) -> int:
+        if self.rng.random() < 0.6:
+            return self.rng.choice(INTERESTING_INTS)
+        return s32(self.rng.getrandbits(32))
+
+    # -- program assembly ---------------------------------------------------
+
+    def generate(self) -> GenProgram:
+        rng = self.rng
+        self.prog.data = bytes(rng.getrandbits(8) for _ in range(64))
+        self._prologue()
+        templates = (
+            (self._alu_block, 4),
+            (self._ext_shift_block, 2),
+            (self._div_block, 2),
+            (self._fp_block, 3),
+            (self._mem_block, 3),
+            (self._branch_block, 2),
+            (self._loop_block, 1),
+            (self._call_block, 1),
+            (self._ijump_block, 1),
+            (self._trap_block, 1),
+            (self._handler_block, 1),
+        )
+        population = [fn for fn, weight in templates for _ in range(weight)]
+        for _ in range(rng.randint(3, 7)):
+            rng.choice(population)()
+        self.emit("jr", rs=14)
+        return self.prog
+
+    def _prologue(self) -> None:
+        for reg in WRITABLE_INT_REGS:
+            self.emit("li", rd=reg, imm=self.int_const())
+        self.emit("li", rd=REG_LOOP, imm=0)
+        self.emit("li", rd=REG_JTGT, imm=0)
+        self.emit("li", rd=REG_RASAVE, imm=0)
+        # Seed a few FP registers through the int->FP converters; divide
+        # by 8 (exact in binary) so fractional values appear too.
+        scratch = self.reg()
+        for fp in self.rng.sample(WRITABLE_FP_REGS, 6):
+            self.emit("li", rd=scratch, imm=self.int_const())
+            op = self.rng.choice(("cvtdw", "cvtsw", "cvtdwu", "cvtswu"))
+            self.emit(op, fd=fp, rs=scratch)
+            if self.rng.random() < 0.5:
+                self.emit("li", rd=scratch, imm=8)
+                self.emit("cvtdw", fd=15, rs=scratch)
+                self.emit("fdivd", fd=fp, fs=fp, ft=15)
+
+    # -- templates ----------------------------------------------------------
+
+    def _alu_block(self) -> None:
+        rng = self.rng
+        for _ in range(rng.randint(3, 8)):
+            if rng.random() < 0.5:
+                self.emit(rng.choice(_ALU_RR), rd=self.reg(),
+                          rs=self.reg(), rt=self.reg())
+            else:
+                self.emit(rng.choice(_ALU_RI), rd=self.reg(),
+                          rs=self.reg(), imm=self.int_const())
+
+    def _ext_shift_block(self) -> None:
+        rng = self.rng
+        for _ in range(rng.randint(2, 5)):
+            if rng.random() < 0.5:
+                self.emit(rng.choice(_EXT_OPS), rd=self.reg(), rs=self.reg())
+            else:
+                op = rng.choice(("slli", "srli", "srai", "sll", "srl", "sra"))
+                if op.endswith("i"):
+                    self.emit(op, rd=self.reg(), rs=self.reg(),
+                              imm=rng.choice(_SHIFT_EDGE_AMOUNTS))
+                else:
+                    amount = self.reg()
+                    if rng.random() < 0.5:
+                        self.emit("li", rd=amount,
+                                  imm=rng.choice(_SHIFT_EDGE_AMOUNTS))
+                    self.emit(op, rd=self.reg(), rs=self.reg(), rt=amount)
+
+    def _div_block(self) -> None:
+        rng = self.rng
+        divisor = self.reg()
+        if rng.random() < 0.3:
+            # Edge constants: INT32_MIN / -1 and divide-by-zero paths.
+            self.emit("li", rd=divisor, imm=rng.choice((0, -1, 1, -2)))
+            dividend = self.reg()
+            if rng.random() < 0.5:
+                self.emit("li", rd=dividend, imm=-0x80000000)
+        else:
+            self.emit("ori", rd=divisor, rs=divisor, imm=1)
+        self.emit(rng.choice(_DIV_OPS), rd=self.reg(),
+                  rs=self.reg(), rt=divisor)
+
+    def _fp_block(self) -> None:
+        rng = self.rng
+        for _ in range(rng.randint(2, 6)):
+            roll = rng.random()
+            if roll < 0.35:
+                self.emit(rng.choice(_FP_BIN), fd=self.freg(),
+                          fs=self.freg(), ft=self.freg())
+            elif roll < 0.5:
+                self.emit(rng.choice(_FP_UN), fd=self.freg(), fs=self.freg())
+            elif roll < 0.65:
+                rd = self.reg()
+                self.emit(rng.choice(_FP_CMP), rd=rd,
+                          fs=self.freg(), ft=self.freg())
+                if rng.random() < 0.5:
+                    # Compare-then-branch-on-zero: the pattern cc-profile
+                    # translators fuse into a native conditional branch.
+                    skip = self.label()
+                    self.emit(rng.choice(("beqi", "bnei")), rs=rd,
+                              imm2=0, label=skip)
+                    self.emit("addi", rd=self.reg(), rs=self.reg(), imm=1)
+                    self.place(skip)
+            elif roll < 0.8:
+                op = rng.choice(("cvtws", "cvtwd", "cvtwus", "cvtwud"))
+                self.emit(op, rd=self.reg(), fs=self.freg())
+            else:
+                op = rng.choice(("cvtdw", "cvtsw", "cvtdwu", "cvtswu",
+                                 "cvtds", "cvtsd"))
+                if op in ("cvtds", "cvtsd"):
+                    self.emit(op, fd=self.freg(), fs=self.freg())
+                else:
+                    self.emit(op, fd=self.freg(), rs=self.reg())
+            if rng.random() < 0.3:
+                # Guarded FP divide: divisor converted from a non-zero int.
+                scratch = self.reg()
+                self.emit("li", rd=scratch,
+                          imm=rng.choice((2, 3, -5, 7, 64, -1)))
+                self.emit("cvtdw", fd=14, rs=scratch)
+                op = rng.choice(("fdivd", "fdivs"))
+                self.emit(op, fd=self.freg(), fs=self.freg(), ft=14)
+
+    def _mem_block(self) -> None:
+        rng = self.rng
+        base_addr = rng.choice((DATA_BASE, HEAP_BASE)) + 8 * rng.randrange(
+            (GEN_SEGMENT_SPAN - 64) // 8
+        )
+        base = self.reg()
+        index = self.reg()
+        while index == base:
+            index = self.reg()
+        # Load destinations must not clobber the live base/index
+        # registers: a corrupted base would turn later stores wild, and
+        # wild stores diverge by design (SFI redirects, the interpreter
+        # detects).
+        def dest() -> int:
+            reg = self.reg()
+            while reg in (base, index):
+                reg = self.reg()
+            return reg
+
+        self.emit("li", rd=base, imm=s32(base_addr))
+        for _ in range(rng.randint(2, 6)):
+            size = rng.choice((1, 2, 4, 8))
+            offset = rng.randrange(0, 56 // size) * size
+            if size == 8:
+                if rng.random() < 0.6:
+                    self.emit("sfd", ft=self.freg(), rs=base, imm=offset)
+                self.emit("lfd", fd=self.freg(), rs=base, imm=offset)
+                continue
+            if rng.random() < 0.3 and size == 4:
+                if rng.random() < 0.5:
+                    self.emit("sfs", ft=self.freg(), rs=base, imm=offset)
+                self.emit("lfs", fd=self.freg(), rs=base, imm=offset)
+                continue
+            store_op = {1: "sb", 2: "sh", 4: "sw"}[size]
+            load_op = rng.choice({1: ("lb", "lbu"), 2: ("lh", "lhu"),
+                                  4: ("lw", "lw")}[size])
+            if rng.random() < 0.3:
+                # Indexed addressing: base + index register.
+                self.emit("li", rd=index, imm=offset)
+                self.emit(store_op + "x", rt=dest(), rs=base, rd=index)
+                self.emit(load_op + "x", rd=dest(), rs=base, rt=index)
+            else:
+                self.emit(store_op, rt=dest(), rs=base, imm=offset)
+                self.emit(load_op, rd=dest(), rs=base, imm=offset)
+
+    def _branch_block(self) -> None:
+        rng = self.rng
+        skip = self.label()
+        if rng.random() < 0.5:
+            self.emit(rng.choice(_BRANCH_RR), rs=self.reg(), rt=self.reg(),
+                      label=skip)
+        else:
+            self.emit(rng.choice(_BRANCH_RI), rs=self.reg(),
+                      imm2=rng.choice((0, 1, -1, 5, 100, -100)), label=skip)
+        for _ in range(rng.randint(1, 3)):
+            self.emit(rng.choice(_ALU_RI), rd=self.reg(), rs=self.reg(),
+                      imm=self.int_const())
+        self.place(skip)
+
+    def _loop_block(self) -> None:
+        rng = self.rng
+        top = self.label()
+        self.emit("li", rd=REG_LOOP, imm=rng.randint(2, 6))
+        self.place(top)
+        for _ in range(rng.randint(1, 3)):
+            self.emit(rng.choice(_ALU_RR), rd=self.reg(), rs=self.reg(),
+                      rt=self.reg())
+        self.emit("addi", rd=REG_LOOP, rs=REG_LOOP, imm=-1)
+        self.emit("bgti", rs=REG_LOOP, imm2=0, label=top)
+
+    def _call_block(self) -> None:
+        rng = self.rng
+        func = self.label()
+        cont = self.label()
+        # The sentinel return address differs per engine, so it must not
+        # leak into a compared register: save through r10, then zero it.
+        self.emit("mov", rd=REG_RASAVE, rs=14)
+        self.emit("jal", label=func)
+        self.emit("mov", rd=14, rs=REG_RASAVE)
+        self.emit("li", rd=REG_RASAVE, imm=0)
+        self.emit("j", label=cont)
+        self.place(func)
+        for _ in range(rng.randint(1, 2)):
+            self.emit(rng.choice(_ALU_RI), rd=self.reg(), rs=self.reg(),
+                      imm=self.int_const())
+        self.emit("jr", rs=14)
+        self.place(cont)
+
+    def _ijump_block(self) -> None:
+        target = self.label()
+        self.emit("li", rd=REG_JTGT, label=target)
+        self.emit("jr", rs=REG_JTGT)
+        for _ in range(self.rng.randint(1, 2)):
+            self.emit("addi", rd=self.reg(), rs=self.reg(), imm=1)
+        self.place(target)
+
+    def _trap_block(self) -> None:
+        skip = self.label()
+        self.emit(self.rng.choice(("bne", "beq")), rs=self.reg(),
+                  rt=self.reg(), label=skip)
+        self.emit("trap", imm=self.rng.randint(1, 200))
+        self.place(skip)
+
+    def _handler_block(self) -> None:
+        if self._used_handler:
+            return self._alu_block()
+        self._used_handler = True
+        handler = self.label()
+        scratch = self.reg()
+        self.emit("li", rd=scratch, label=handler)
+        self.emit("sethnd", rs=scratch)
+        addr = self.reg()
+        self.emit("li", rd=addr, imm=s32(HOLE_ADDRESS))
+        if self.rng.random() < 0.5:
+            self.emit("sw", rt=self.reg(), rs=addr, imm=0)
+        else:
+            self.emit("lw", rd=self.reg(), rs=addr, imm=0)
+        # Unreachable: the faulting access always redirects to the handler.
+        self.emit("addi", rd=scratch, rs=scratch, imm=99)
+        self.place(handler)

@@ -1,0 +1,64 @@
+"""Delta-debugging minimizer for divergent programs.
+
+Shrinks a generated program's statement list while a caller-supplied
+predicate (``still interesting?``) holds, using the classic ddmin
+strategy: try removing large contiguous chunks of instructions first,
+halving the chunk size on failure, down to single instructions.
+
+Labels are never removal candidates (an instruction referencing a
+deleted label simply fails to link, which the predicate reports as
+``False``), and the final statement — the generator's ``jr r14``
+epilogue — is pinned so a candidate cannot run off the end of the code
+segment, which would manufacture an unrelated divergence instead of
+shrinking the real one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def minimize_program(
+    stmts: list,
+    still_interesting: Callable[[list], bool],
+    max_checks: int = 2000,
+) -> tuple[list, int]:
+    """Shrink *stmts* while *still_interesting* holds.
+
+    Returns ``(minimized statements, predicate evaluations)``.  The
+    input list is not modified.
+    """
+    current = list(stmts)
+    checks = 0
+
+    def removable_indices(items: list) -> list[int]:
+        # Instructions only, and never the final (epilogue) statement.
+        return [
+            i for i, stmt in enumerate(items[:-1]) if stmt[0] == "instr"
+        ]
+
+    chunk = max(1, len(removable_indices(current)) // 2)
+    while chunk >= 1 and checks < max_checks:
+        indices = removable_indices(current)
+        position = 0
+        removed_any = False
+        while position < len(indices) and checks < max_checks:
+            drop = set(indices[position:position + chunk])
+            candidate = [
+                stmt for i, stmt in enumerate(current) if i not in drop
+            ]
+            checks += 1
+            if still_interesting(candidate):
+                current = candidate
+                indices = removable_indices(current)
+                removed_any = True
+                # Restart the scan at the same position: indices shifted.
+            else:
+                position += chunk
+        if chunk == 1 and not removed_any:
+            break
+        if chunk > 1:
+            chunk //= 2
+        elif not removed_any:
+            break
+    return current, checks

@@ -171,17 +171,30 @@ class Engine:
         options: TranslationOptions | str | None = None,
         host: Host | None = None,
         verify: bool = True,
+        fuel: int | None = None,
+        segment_size: int | None = None,
     ) -> LoadedModule | NativeModule:
         """Verify and load *program* for execution: a
         :class:`NativeModule` for a translated target, a
-        :class:`LoadedModule` for the interpreter."""
+        :class:`LoadedModule` for the interpreter.
+
+        ``fuel`` bounds dynamic instructions (loader defaults apply when
+        None); ``segment_size`` shrinks the module address space (used
+        by the differential tester to keep memory digests cheap).
+        """
         arch = self._resolve_target(target)
+        extra: dict = {}
+        if fuel is not None:
+            extra["fuel"] = fuel
+        if segment_size is not None:
+            extra["segment_size"] = segment_size
         with self._collecting():
             if arch == INTERPRETER:
-                return load_for_interpretation(program, host, verify=verify)
+                return load_for_interpretation(
+                    program, host, verify=verify, **extra)
             return load_for_target(
                 program, arch, self._resolve_options(options), host,
-                verify=verify, cache=self.cache,
+                verify=verify, cache=self.cache, **extra,
             )
 
     def run(

@@ -34,13 +34,10 @@ from repro.omnivm.isa import (
 )
 from repro.omnivm.linker import LinkedProgram
 from repro.omnivm.memory import CODE_BASE, Memory, STACK_TOP
+from repro.omnivm import semantics
 from repro.utils.bits import (
     add32,
-    div32,
-    divu32,
     mul32,
-    rem32,
-    remu32,
     round_f32,
     s32,
     sll32,
@@ -293,35 +290,26 @@ class OmniVM:
             pred, signed = SET_PREDS[op]
             x, y = (s32(a), s32(b)) if signed else (a, b)
             return 1 if _PRED_FN[pred](x, y) else 0
-        try:
-            if op == "add":
-                return add32(a, b)
-            if op == "sub":
-                return sub32(a, b)
-            if op == "mul":
-                return mul32(a, b)
-            if op == "div":
-                return div32(a, b)
-            if op == "divu":
-                return divu32(a, b)
-            if op == "rem":
-                return rem32(a, b)
-            if op == "remu":
-                return remu32(a, b)
-            if op == "and":
-                return a & b
-            if op == "or":
-                return a | b
-            if op == "xor":
-                return a ^ b
-            if op == "sll":
-                return sll32(a, b)
-            if op == "srl":
-                return srl32(a, b)
-            if op == "sra":
-                return sra32(a, b)
-        except ZeroDivisionError:
-            raise VMRuntimeError("integer division by zero")
+        if op == "add":
+            return add32(a, b)
+        if op == "sub":
+            return sub32(a, b)
+        if op == "mul":
+            return mul32(a, b)
+        if op in ("div", "divu", "rem", "remu"):
+            return semantics.int_divide(op, a, b)
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        if op == "xor":
+            return a ^ b
+        if op == "sll":
+            return sll32(a, b)
+        if op == "srl":
+            return srl32(a, b)
+        if op == "sra":
+            return sra32(a, b)
         raise VMRuntimeError(f"unknown ALU op {op!r}")  # pragma: no cover
 
     def _falu(self, op: str, instr: VMInstr) -> float:
@@ -329,30 +317,10 @@ class OmniVM:
         a = fregs[instr.fs]
         single = op in ("fadds", "fsubs", "fmuls", "fdivs",
                         "fnegs", "fabss", "fmovs")
-        if op in ("fmovs", "fmovd"):
-            result = a
-        elif op in ("fnegs", "fnegd"):
-            result = -a
-        elif op in ("fabss", "fabsd"):
-            result = abs(a)
+        if op in ("fmovs", "fmovd", "fnegs", "fnegd", "fabss", "fabsd"):
+            result = semantics.fp_unop(op[:-1], a)
         else:
-            b = fregs[instr.ft]
-            base = op[:-1]
-            try:
-                if base == "fadd":
-                    result = a + b
-                elif base == "fsub":
-                    result = a - b
-                elif base == "fmul":
-                    result = a * b
-                elif base == "fdiv":
-                    if b == 0.0:
-                        raise VMRuntimeError("floating-point division by zero")
-                    result = a / b
-                else:  # pragma: no cover
-                    raise VMRuntimeError(f"unknown FP op {op!r}")
-            except OverflowError:
-                raise VMRuntimeError("floating-point overflow")
+            result = semantics.fp_binop(op[:-1], a, fregs[instr.ft])
         return round_f32(result) if single else result
 
     def _fcmp(self, op: str, a: float, b: float) -> int:
@@ -370,15 +338,9 @@ class OmniVM:
         elif op == "cvtswu":
             fregs[instr.fd] = round_f32(float(regs[instr.rs]))
         elif op in ("cvtwd", "cvtws"):
-            try:
-                regs[instr.rd] = s32(int(fregs[instr.fs])) & 0xFFFFFFFF
-            except (OverflowError, ValueError):
-                regs[instr.rd] = 0x80000000
+            regs[instr.rd] = semantics.f_to_i32(fregs[instr.fs])
         elif op in ("cvtwud", "cvtwus"):
-            try:
-                regs[instr.rd] = u32(int(fregs[instr.fs]))
-            except (OverflowError, ValueError):
-                regs[instr.rd] = 0
+            regs[instr.rd] = semantics.f_to_u32(fregs[instr.fs])
         elif op == "cvtds":
             fregs[instr.fd] = fregs[instr.fs]
         elif op == "cvtsd":
@@ -387,15 +349,4 @@ class OmniVM:
             raise VMRuntimeError(f"unknown conversion {op!r}")
 
     def _extend(self, op: str, value: int) -> int:
-        if op == "sext8":
-            return u32(s32(value << 24) >> 24) if False else u32(
-                (value & 0xFF) - 0x100 if value & 0x80 else value & 0xFF
-            )
-        if op == "zext8":
-            return value & 0xFF
-        if op == "sext16":
-            return u32((value & 0xFFFF) - 0x10000 if value & 0x8000
-                       else value & 0xFFFF)
-        if op == "zext16":
-            return value & 0xFFFF
-        raise VMRuntimeError(f"unknown extension {op!r}")  # pragma: no cover
+        return semantics.extend(op, value)

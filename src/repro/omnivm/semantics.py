@@ -1,0 +1,145 @@
+"""Shared instruction semantics for OmniVM and the target simulators.
+
+The reference interpreter (:mod:`repro.omnivm.interp`) *defines* OmniVM
+semantics; the generic target executor (:mod:`repro.targets.base`)
+re-implements each instruction over the union vocabulary.  Anything
+implemented twice can drift apart twice — and for a mobile-code system
+the whole point is that the translated program is observably identical
+to the interpreted one.  This module holds the semantics both engines
+must share verbatim:
+
+* integer divide/remainder trapping (one error message, one behaviour
+  for ``INT32_MIN / -1``);
+* floating-point arithmetic trapping (divide by zero, overflow);
+* float → integer conversion with a single clamp path (NaN, infinities
+  and out-of-range values all clamp the same way in both engines);
+* sign/zero extension.
+
+The differential fuzzer (:mod:`repro.difftest`) cross-executes random
+programs through both engines; keeping these helpers shared means a bug
+here shows up as *matching* wrong behaviour rather than a divergence —
+so the helpers are also pinned directly by unit tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VMRuntimeError
+from repro.utils.bits import (
+    INT32_MAX,
+    INT32_MIN,
+    UINT32_MAX,
+    div32,
+    divu32,
+    rem32,
+    remu32,
+    s8,
+    s16,
+    u32,
+)
+
+#: The one integer division-by-zero message both engines raise.
+INT_DIV_ZERO_MSG = "integer division by zero"
+#: The one floating-point division-by-zero message both engines raise.
+FP_DIV_ZERO_MSG = "floating-point division by zero"
+#: The one floating-point overflow message both engines raise.
+FP_OVERFLOW_MSG = "floating-point overflow"
+
+#: i32 clamp value for unrepresentable float→int conversions (the
+#: "integer indefinite" convention: NaN, ±inf and out-of-range all
+#: produce INT32_MIN, as x86 ``cvttsd2si`` does).
+F2I_CLAMP = 0x80000000
+#: u32 clamp value for unrepresentable float→uint conversions.
+F2U_CLAMP = 0
+
+_INT_DIV_FN = {"div": div32, "divu": divu32, "rem": rem32, "remu": remu32}
+
+
+def int_divide(op: str, a: int, b: int) -> int:
+    """``div``/``divu``/``rem``/``remu`` with the shared trap message.
+
+    Division truncates toward zero and the remainder's sign follows the
+    dividend (C semantics); ``INT32_MIN / -1`` wraps to ``INT32_MIN``
+    and ``INT32_MIN % -1`` is 0 (the two's-complement fixed point).
+    """
+    try:
+        return _INT_DIV_FN[op](a, b)
+    except ZeroDivisionError:
+        raise VMRuntimeError(INT_DIV_ZERO_MSG) from None
+
+
+def fp_binop(base: str, a: float, b: float) -> float:
+    """FP add/sub/mul/div (width-suffix stripped) with shared traps."""
+    try:
+        if base == "fadd":
+            return a + b
+        if base == "fsub":
+            return a - b
+        if base == "fmul":
+            return a * b
+        if base == "fdiv":
+            if b == 0.0:
+                raise VMRuntimeError(FP_DIV_ZERO_MSG)
+            return a / b
+    except OverflowError:
+        raise VMRuntimeError(FP_OVERFLOW_MSG) from None
+    raise VMRuntimeError(f"unknown FP op {base!r}")  # pragma: no cover
+
+
+def fp_unop(base: str, a: float) -> float:
+    """FP move/negate/absolute (width-suffix stripped).
+
+    The caller applies single-precision rounding for the ``s`` variants
+    — including ``fmovs``, which narrows a double to the nearest f32
+    exactly like the arithmetic ops do.
+    """
+    if base == "fmov":
+        return a
+    if base == "fneg":
+        return -a
+    if base == "fabs":
+        return abs(a)
+    raise VMRuntimeError(f"unknown FP op {base!r}")  # pragma: no cover
+
+
+def f_to_i32(value: float) -> int:
+    """Truncate a float toward zero into an i32 register encoding.
+
+    One clamp path: NaN, ±inf, and any value outside
+    ``[INT32_MIN, INT32_MAX]`` produce :data:`F2I_CLAMP`.
+    """
+    try:
+        truncated = int(value)
+    except (OverflowError, ValueError):
+        return F2I_CLAMP
+    if not INT32_MIN <= truncated <= INT32_MAX:
+        return F2I_CLAMP
+    return u32(truncated)
+
+
+def f_to_u32(value: float) -> int:
+    """Truncate a float toward zero into a u32 register encoding.
+
+    One clamp path: NaN, ±inf, and any value outside
+    ``[0, UINT32_MAX]`` (after truncation toward zero, so values in
+    ``(-1, 0)`` are representable as 0) produce :data:`F2U_CLAMP`.
+    """
+    try:
+        truncated = int(value)
+    except (OverflowError, ValueError):
+        return F2U_CLAMP
+    if not 0 <= truncated <= UINT32_MAX:
+        return F2U_CLAMP
+    return truncated
+
+
+def extend(op: str, value: int) -> int:
+    """``sext8``/``sext16``/``zext8``/``zext16`` on a register value."""
+    if op == "sext8":
+        return u32(s8(value))
+    if op == "zext8":
+        return value & 0xFF
+    if op == "sext16":
+        return u32(s16(value))
+    if op == "zext16":
+        return value & 0xFFFF
+    raise VMRuntimeError(f"unknown extension {op!r}")  # pragma: no cover

@@ -13,6 +13,7 @@ behaviour — a property the test suite checks with hypothesis.
 from __future__ import annotations
 
 from repro.ir.ir import Const, Function, Instr, Operand, is_signed
+from repro.omnivm import semantics
 from repro.utils.bits import (
     add32,
     div32,
@@ -122,9 +123,12 @@ def eval_cast(subop: str, value: Const, dest_ty: str) -> Const | None:
                 result = round_f32(result)
             return Const(result, dest_ty)
         if subop == "f2i":
-            truncated = int(float(value.value))
-            truncated = s32(truncated) if dest_ty == "i32" else u32(truncated)
-            return Const(truncated, dest_ty)
+            # Same clamp path as the runtime (repro.omnivm.semantics), so
+            # folding cannot change what an out-of-range cast produces.
+            if dest_ty == "i32":
+                return Const(s32(semantics.f_to_i32(float(value.value))),
+                             dest_ty)
+            return Const(semantics.f_to_u32(float(value.value)), dest_ty)
         if subop == "fext":
             return Const(float(value.value), "f64")
         if subop == "ftrunc":

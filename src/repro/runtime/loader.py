@@ -79,11 +79,20 @@ def load_for_interpretation(
     host: Host | None = None,
     verify: bool = True,
     fuel: int = 200_000_000,
+    segment_size: int | None = None,
 ) -> LoadedModule:
     """Load *program* into a fresh address space under the reference VM."""
     if verify:
         verify_program(program)
-    memory = standard_module_memory(program.text_image, bytes(program.data_image))
+    if segment_size is not None:
+        memory = standard_module_memory(
+            program.text_image, bytes(program.data_image),
+            segment_size=segment_size,
+        )
+    else:
+        memory = standard_module_memory(
+            program.text_image, bytes(program.data_image)
+        )
     host = host or Host()
     vm = OmniVM(program, memory, fuel=fuel)
     adapter = _OmniVMAdapter(vm)

@@ -90,6 +90,7 @@ def load_for_target(
     fuel: int = 500_000_000,
     memory: Memory | None = None,
     cache: "TranslationCache | None" = None,
+    segment_size: int | None = None,
 ) -> NativeModule:
     """Translate *program* for *arch* and prepare it for execution.
 
@@ -111,9 +112,15 @@ def load_for_target(
         if cache is not None:
             cache.put(program, arch, options, translated)
     if memory is None:
-        memory = standard_module_memory(
-            program.text_image, bytes(program.data_image)
-        )
+        if segment_size is not None:
+            memory = standard_module_memory(
+                program.text_image, bytes(program.data_image),
+                segment_size=segment_size,
+            )
+        else:
+            memory = standard_module_memory(
+                program.text_image, bytes(program.data_image)
+            )
     host = host or Host()
     if options is not None and options.native_profile == "cc" and \
             translated.spec.name == "ppc":

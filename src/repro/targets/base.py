@@ -37,14 +37,12 @@ from repro.errors import (
     VMRuntimeError,
     VMTrap,
 )
+from repro.omnivm import semantics
 from repro.omnivm.memory import Memory
 from repro.utils.bits import (
     add32,
-    div32,
-    divu32,
+    fits_signed,
     mul32,
-    rem32,
-    remu32,
     round_f32,
     s32,
     sll32,
@@ -257,9 +255,7 @@ class TargetSpec:
     real_regs: int = 64
 
     def fits_imm(self, value: int) -> bool:
-        lo = -(1 << (self.imm_bits - 1))
-        hi = (1 << (self.imm_bits - 1)) - 1
-        return lo <= s32(value) <= hi
+        return fits_signed(value, self.imm_bits)
 
 
 class HaltExecution(Exception):
@@ -499,14 +495,9 @@ class TargetMachine:
             regs[instr.rd] = sub32(regs[instr.rs], regs[instr.rt])
         elif op == "mul":
             regs[instr.rd] = mul32(regs[instr.rs], regs[instr.rt])
-        elif op == "div":
-            regs[instr.rd] = self._div(div32, regs[instr.rs], regs[instr.rt])
-        elif op == "divu":
-            regs[instr.rd] = self._div(divu32, regs[instr.rs], regs[instr.rt])
-        elif op == "rem":
-            regs[instr.rd] = self._div(rem32, regs[instr.rs], regs[instr.rt])
-        elif op == "remu":
-            regs[instr.rd] = self._div(remu32, regs[instr.rs], regs[instr.rt])
+        elif op in ("div", "divu", "rem", "remu"):
+            regs[instr.rd] = semantics.int_divide(
+                op, regs[instr.rs], regs[instr.rt])
         elif op == "and":
             regs[instr.rd] = regs[instr.rs] & regs[instr.rt]
         elif op == "andi":
@@ -548,17 +539,7 @@ class TargetMachine:
         elif op == "sltiu":
             regs[instr.rd] = 1 if regs[instr.rs] < u32(imm) else 0
         elif op in ("sext8", "sext16", "zext8", "zext16"):
-            value = regs[instr.rs]
-            if op == "sext8":
-                regs[instr.rd] = u32((value & 0xFF) - 0x100
-                                     if value & 0x80 else value & 0xFF)
-            elif op == "zext8":
-                regs[instr.rd] = value & 0xFF
-            elif op == "sext16":
-                regs[instr.rd] = u32((value & 0xFFFF) - 0x10000
-                                     if value & 0x8000 else value & 0xFFFF)
-            else:
-                regs[instr.rd] = value & 0xFFFF
+            regs[instr.rd] = semantics.extend(op, regs[instr.rs])
         # -- memory ---------------------------------------------------------
         elif op in ("lb", "lbu", "lh", "lhu", "lw"):
             address = add32(regs[instr.rs], u32(imm))
@@ -607,28 +588,12 @@ class TargetMachine:
         # -- FP arithmetic -----------------------------------------------------
         elif op in ("fadds", "fsubs", "fmuls", "fdivs",
                     "faddd", "fsubd", "fmuld", "fdivd"):
-            a, b = fregs[instr.fs], fregs[instr.ft]
-            base = op[:-1]
-            try:
-                if base == "fadd":
-                    result = a + b
-                elif base == "fsub":
-                    result = a - b
-                elif base == "fmul":
-                    result = a * b
-                else:
-                    if b == 0.0:
-                        raise VMRuntimeError("FP division by zero")
-                    result = a / b
-            except OverflowError:
-                raise VMRuntimeError("FP overflow")
+            result = semantics.fp_binop(
+                op[:-1], fregs[instr.fs], fregs[instr.ft])
             fregs[instr.fd] = round_f32(result) if op.endswith("s") else result
-        elif op in ("fnegs", "fnegd"):
-            fregs[instr.fd] = -fregs[instr.fs]
-        elif op in ("fabss", "fabsd"):
-            fregs[instr.fd] = abs(fregs[instr.fs])
-        elif op in ("fmovs", "fmovd"):
-            fregs[instr.fd] = fregs[instr.fs]
+        elif op in ("fnegs", "fnegd", "fabss", "fabsd", "fmovs", "fmovd"):
+            result = semantics.fp_unop(op[:-1], fregs[instr.fs])
+            fregs[instr.fd] = round_f32(result) if op.endswith("s") else result
         elif op in ("fceqs", "fclts", "fcles", "fceqd", "fcltd", "fcled"):
             a, b = fregs[instr.fs], fregs[instr.ft]
             pred = {"fceq": a == b, "fclt": a < b, "fcle": a <= b}[op[:-1]]
@@ -647,15 +612,9 @@ class TargetMachine:
         elif op == "cvtswu":
             fregs[instr.fd] = round_f32(float(regs[instr.rs]))
         elif op in ("cvtwd", "cvtws"):
-            try:
-                regs[instr.rd] = s32(int(fregs[instr.fs])) & 0xFFFFFFFF
-            except (OverflowError, ValueError):
-                regs[instr.rd] = 0x80000000
+            regs[instr.rd] = semantics.f_to_i32(fregs[instr.fs])
         elif op in ("cvtwud", "cvtwus"):
-            try:
-                regs[instr.rd] = u32(int(fregs[instr.fs]))
-            except (OverflowError, ValueError):
-                regs[instr.rd] = 0
+            regs[instr.rd] = semantics.f_to_u32(fregs[instr.fs])
         elif op == "cvtds":
             fregs[instr.fd] = fregs[instr.fs]
         elif op == "cvtsd":
@@ -722,12 +681,6 @@ class TargetMachine:
         else:  # pragma: no cover
             raise VMRuntimeError(f"target op {op!r} not implemented")
         return None
-
-    def _div(self, fn, a: int, b: int) -> int:
-        try:
-            return fn(a, b)
-        except ZeroDivisionError:
-            raise VMRuntimeError("integer division by zero")
 
     def _cc_predicate(self, pred: str) -> bool:
         signed = self.cc

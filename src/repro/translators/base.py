@@ -223,14 +223,19 @@ class BaseTranslator:
         omni_start_index: dict[int, int] = {}
         block: list[MInstr] = []
         fused_skip = False
+        # A module that installs a virtual exception handler observes the
+        # register file at a faulting instruction: schedule with memory
+        # operations pinned so that delivery is precise.
+        precise = any(i.op == "sethnd" for i in program.instrs)
 
         def flush_block() -> None:
             nonlocal block
             if not block:
                 return
             if self.options.schedule:
-                block = list_schedule(block, self.spec)
-            block = finalize_block(block, self.spec, self.options.schedule)
+                block = list_schedule(block, self.spec, precise)
+            block = finalize_block(block, self.spec, self.options.schedule,
+                                   precise)
             module.instrs.extend(block)
             block = []
 
@@ -283,17 +288,31 @@ class BaseTranslator:
 
     def _entry_points(self, program: LinkedProgram) -> set[int]:
         """Legal indirect-control destinations: function entries, return
-        points, and every direct branch target (so the map is a superset
-        of what well-formed code needs)."""
+        points, every direct branch target, and every code address the
+        program can *materialize* — text symbols (covers code addresses
+        patched into data, e.g. function-pointer tables) and code-segment
+        ``li`` immediates (covers jump-table labels the linker resolved
+        into register loads) — so the map is a superset of what
+        well-formed code needs."""
+        code_hi = CODE_BASE + len(program.instrs) * INSTR_SIZE
         points: set[int] = set()
+
+        def add_code_address(address: int) -> None:
+            if CODE_BASE <= address < code_hi and address % INSTR_SIZE == 0:
+                points.add(address)
+
         for name, (start, _end) in program.function_ranges.items():
             points.add(CODE_BASE + start * INSTR_SIZE)
+        for address in program.symbols.values():
+            add_code_address(address)
         for index, instr in enumerate(program.instrs):
             kind = instr.spec.kind
             if kind in ("call", "icall"):
                 points.add(CODE_BASE + (index + 1) * INSTR_SIZE)
             if kind in ("branch", "branchi", "jump", "call"):
                 points.add(u32(instr.imm))
+            elif kind == "li":
+                add_code_address(u32(instr.imm))
         points.add(program.entry_address)
         return points
 

@@ -67,13 +67,6 @@ class GenericRISCTranslator(BaseTranslator):
         """Emit a compare-to-register sequence."""
         raise NotImplementedError
 
-    def emit_fp_branch(self, pred: str, fs: int, ft: int, single: bool,
-                       target_omni: int) -> None:
-        """Fused FP compare + branch (the translator peephole)."""
-        suffix = "s" if single else ""
-        self.emit("fcmp" + suffix, fs=fs, ft=ft)
-        self.emit("fbcc", pred=pred, target=target_omni)
-
     def emit_fp_setcc(self, dest: int, pred: str, fs: int, ft: int,
                       single: bool) -> None:
         suffix = "s" if single else ""
@@ -326,7 +319,13 @@ class GenericRISCTranslator(BaseTranslator):
 
     def expand_fcmp(self, instr: VMInstr, next_instr: VMInstr | None) -> bool:
         """FP compare to register; fuses with an immediately following
-        branch-on-zero of the same register (peephole)."""
+        branch-on-zero of the same register (peephole).
+
+        The fused form still writes the compare result to ``rd`` — the
+        destination is architecturally live after the branch — but the
+        branch itself reuses the FP condition code instead of
+        re-comparing ``rd`` against zero, which is where the fusion wins.
+        """
         base = instr.op[:-1]
         single = instr.op.endswith("s")
         pred = _FCMP_PRED[base]
@@ -337,9 +336,9 @@ class GenericRISCTranslator(BaseTranslator):
             and next_instr.imm2 == 0
         ):
             branch_pred = pred if next_instr.op == "bnei" else _NEG_PRED[pred]
-            self.emit_fp_branch(branch_pred, self.f(instr.fs),
-                                self.f(instr.ft), single,
-                                u32(next_instr.imm))
+            self.emit_fp_setcc(self.r(instr.rd), pred, self.f(instr.fs),
+                               self.f(instr.ft), single)
+            self.emit("fbcc", pred=branch_pred, target=u32(next_instr.imm))
             return True
         self.emit_fp_setcc(self.r(instr.rd), pred, self.f(instr.fs),
                            self.f(instr.ft), single)

@@ -33,14 +33,26 @@ def _mem_kind(instr: MInstr) -> str:
     return ""
 
 
-def build_dependences(block: list[MInstr]) -> list[list[int]]:
-    """Return successor lists: edges i -> j mean j must follow i."""
+def build_dependences(
+    block: list[MInstr], precise: bool = False
+) -> list[list[int]]:
+    """Return successor lists: edges i -> j mean j must follow i.
+
+    With *precise* set, every load and store is a full scheduling
+    barrier.  Memory operations are the instructions that can raise an
+    access violation, and a program that installs a virtual exception
+    handler (``sethnd``) observes the register file at the faulting
+    instruction — so no effect may be moved across one in either
+    direction.  Programs without a handler cannot observe the
+    imprecision (a propagated violation terminates the run), and keep
+    the full scheduling freedom that hides the SFI sequences.
+    """
     n = len(block)
     succs: list[list[int]] = [[] for _ in range(n)]
     last_write: dict[tuple[str, int], int] = {}
     last_reads: dict[tuple[str, int], list[int]] = {}
     last_store = -1
-    last_mem = -1
+    open_loads: list[int] = []  # loads issued since the last store/barrier
     last_barrier = -1
     for j, instr in enumerate(block):
         preds: set[int] = set()
@@ -53,12 +65,16 @@ def build_dependences(block: list[MInstr]) -> list[list[int]]:
             for reader in last_reads.get(key, ()):
                 preds.add(reader)  # WAR
         kind = _mem_kind(instr)
+        if precise and kind in ("load", "store"):
+            kind = "barrier"
         if kind == "load":
             if last_store >= 0:
                 preds.add(last_store)
         elif kind == "store":
-            if last_mem >= 0:
-                preds.add(last_mem)
+            # A store must follow EVERY load issued since the previous
+            # store, not just the most recent memory op — an earlier
+            # load may alias the stored address.
+            preds.update(open_loads)
             if last_store >= 0:
                 preds.add(last_store)
         elif kind == "barrier":
@@ -75,19 +91,22 @@ def build_dependences(block: list[MInstr]) -> list[list[int]]:
             last_reads[key] = []
         if kind == "store":
             last_store = j
-            last_mem = j
+            open_loads.clear()
         elif kind == "load":
-            last_mem = j
+            open_loads.append(j)
         elif kind == "barrier":
             last_barrier = j
             last_store = j
-            last_mem = j
+            open_loads.clear()
     return succs
 
 
-def list_schedule(block: list[MInstr], spec: TargetSpec) -> list[MInstr]:
+def list_schedule(
+    block: list[MInstr], spec: TargetSpec, precise: bool = False
+) -> list[MInstr]:
     """Reorder *block* to reduce stalls; the final instruction stays last
-    if it is a control transfer."""
+    if it is a control transfer.  *precise* pins memory operations (see
+    :func:`build_dependences`)."""
     if len(block) < 2:
         return block
     tail: list[MInstr] = []
@@ -97,7 +116,7 @@ def list_schedule(block: list[MInstr], spec: TargetSpec) -> list[MInstr]:
         tail = [block[-1]]
         if not body:
             return block
-    succs = build_dependences(block)
+    succs = build_dependences(block, precise)
     n = len(body)
     indegree = [0] * n
     for i in range(n):
@@ -153,7 +172,8 @@ def list_schedule(block: list[MInstr], spec: TargetSpec) -> list[MInstr]:
 
 
 def finalize_block(
-    block: list[MInstr], spec: TargetSpec, schedule: bool
+    block: list[MInstr], spec: TargetSpec, schedule: bool,
+    precise: bool = False,
 ) -> list[MInstr]:
     """Append the delay slot for a block ending in a control transfer.
 
@@ -170,6 +190,11 @@ def finalize_block(
         return block
     filler: MInstr | None = None
     link_reg = spec.reserved.get("ra", -1)
+    if precise and len(block) >= 2 and _mem_kind(block[-2]):
+        # A faulting op must not slide past the branch (handler programs
+        # observe state at the fault point); fill with a nop instead.
+        return block + [MInstr("nop", omni_addr=last.omni_addr,
+                               category="bnop")]
     if schedule and len(block) >= 2 and _can_fill(block[-2], last, link_reg):
         filler = block[-2]
         block = block[:-2] + [last, filler]

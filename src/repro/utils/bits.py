@@ -60,10 +60,16 @@ def sext(value: int, bits: int) -> int:
 
 
 def fits_signed(value: int, bits: int) -> bool:
-    """True if *value* (signed) is representable in *bits* bits."""
+    """True if *value*, read as a 32-bit encoding, fits in *bits* signed bits.
+
+    The value is interpreted through :func:`s32` regardless of how the
+    caller happens to hold it (unsigned register encoding or already
+    signed), so e.g. ``0xFFFF8000`` and ``-0x8000`` are both in-range
+    for ``bits=16``.
+    """
     lo = -(1 << (bits - 1))
     hi = (1 << (bits - 1)) - 1
-    return lo <= s32(value) <= hi if value >= 0 else lo <= value <= hi
+    return lo <= s32(value) <= hi
 
 
 def fits_unsigned(value: int, bits: int) -> bool:

@@ -43,6 +43,41 @@ class TestConversions:
         assert (result - value) % (1 << width) == 0
 
 
+class TestFitsSigned:
+    """One convention: the value is read through s32 first, so the u32
+    and negative-int encodings of the same register value agree."""
+
+    @pytest.mark.parametrize("width,lo,hi", [
+        (8, -128, 127), (16, -32768, 32767),
+    ])
+    def test_boundaries(self, width, lo, hi):
+        assert bits.fits_signed(lo, width)
+        assert bits.fits_signed(hi, width)
+        assert not bits.fits_signed(lo - 1, width)
+        assert not bits.fits_signed(hi + 1, width)
+
+    @pytest.mark.parametrize("width,lo,hi", [
+        (8, -128, 127), (16, -32768, 32767),
+    ])
+    def test_u32_encoding_agrees_with_signed(self, width, lo, hi):
+        assert bits.fits_signed(bits.u32(lo), width)
+        assert not bits.fits_signed(bits.u32(lo - 1), width)
+        # High-bit-set u32 values are negative s32 values, not huge
+        # positives: 0xFFFFFF80 is -128 and fits in 8 signed bits.
+        assert bits.fits_signed(0xFFFFFF80, 8)
+        assert not bits.fits_signed(0x80, 8)
+
+    def test_width_32_accepts_every_register_value(self):
+        for value in (0, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF,
+                      -1, -(2**31)):
+            assert bits.fits_signed(value, 32)
+
+    @given(u32s, st.sampled_from([8, 12, 13, 16, 18]))
+    def test_matches_range_check_on_s32(self, value, width):
+        expected = -(1 << (width - 1)) <= bits.s32(value) < 1 << (width - 1)
+        assert bits.fits_signed(value, width) == expected
+
+
 class TestArithmetic:
     @given(u32s, u32s)
     def test_add_sub_inverse(self, a, b):

@@ -1,0 +1,255 @@
+"""Pinned repros for divergences the differential fuzzer surfaced.
+
+Every program here is a (minimized) difftest counterexample that, before
+its fix, produced different observable state on the interpreter and at
+least one target simulator.  Each test cross-executes the repro on all
+four targets — the assertion is the difftest invariant itself — and
+additionally pins the oracle's expected values so the *pair* cannot
+drift together.
+"""
+
+import pytest
+
+from repro.difftest.generator import GenProgram
+from repro.difftest.harness import (
+    COMPARED_INT_REGS,
+    compare_outcomes,
+    run_one,
+)
+from repro.engine import ARCHITECTURES, Engine, INTERPRETER
+from repro.omnivm import semantics
+from repro.omnivm.isa import VMInstr as I
+from repro.utils.bits import f64_to_bits, round_f32, u32
+
+ENGINE = Engine(cache=False)
+
+
+def cross_run(stmts, name="repro", data=b"\x00" * 64):
+    """Run *stmts* on the interpreter and all targets; assert agreement."""
+    program = GenProgram(name, list(stmts), data).build()
+    reference = run_one(ENGINE, program, INTERPRETER)
+    for target in ARCHITECTURES:
+        observed = run_one(ENGINE, program, target)
+        diffs = compare_outcomes(reference, observed)
+        assert not diffs, f"{name} diverges on {target}: {diffs}"
+    return reference
+
+
+def reg(outcome, number):
+    return outcome.regs[COMPARED_INT_REGS.index(number)]
+
+
+class TestTranslatorDivergences:
+    def test_indirect_jump_to_li_materialized_label(self):
+        """An address materialized with ``li`` and jumped to via ``jr``
+        must be in the translator's entry-point map; the translators used
+        to reject it with a sandbox violation while the interpreter
+        followed it."""
+        outcome = cross_run([
+            ("instr", I("li", rd=9, label="L_target")),
+            ("instr", I("jr", rs=9)),
+            ("instr", I("li", rd=5, imm=111)),  # skipped by the jump
+            ("label", "L_target"),
+            ("instr", I("li", rd=6, imm=222)),
+            ("instr", I("jr", rs=14)),
+        ], name="ijump_li_label")
+        assert outcome.kind == "exit"
+        assert reg(outcome, 5) == 0 and reg(outcome, 6) == 222
+
+    def test_fused_fcmp_branch_still_writes_rd(self):
+        """The fcmp+branch-on-zero fusion peephole used to drop the
+        compare result's register write; ``rd`` is live after the
+        branch."""
+        outcome = cross_run([
+            ("instr", I("fcled", rd=2, fs=7, ft=2)),  # 0.0 <= 0.0 -> 1
+            ("instr", I("bnei", rs=2, imm2=0, label="L_done")),
+            ("label", "L_done"),
+            ("instr", I("jr", rs=14)),
+        ], name="fcmp_fuse_rd")
+        assert outcome.kind == "exit"
+        assert reg(outcome, 2) == 1
+
+    def test_fused_fcmp_beqi_negated_predicate(self):
+        outcome = cross_run([
+            ("instr", I("fclts", rd=3, fs=0, ft=1)),  # 0.0 < 0.0 -> 0
+            ("instr", I("beqi", rs=3, imm2=0, label="L_done")),
+            ("instr", I("li", rd=4, imm=77)),  # skipped: branch taken
+            ("label", "L_done"),
+            ("instr", I("jr", rs=14)),
+        ], name="fcmp_fuse_beqi")
+        assert outcome.kind == "exit"
+        assert reg(outcome, 3) == 0 and reg(outcome, 4) == 0
+
+    def test_handler_sees_writes_preceding_faulting_load(self):
+        """With a virtual exception handler installed, every register
+        write program-ordered before a faulting load must be visible at
+        delivery; the scheduler used to hoist the load above them."""
+        outcome = cross_run([
+            ("instr", I("li", rd=8, imm=65536)),
+            ("instr", I("li", rd=2, label="L_handler")),
+            ("instr", I("sethnd", rs=2)),
+            ("instr", I("lw", rd=13, rs=5, imm=0)),  # r5=0: faults
+            ("instr", I("addi", rd=2, rs=2, imm=99)),  # after the fault
+            ("label", "L_handler"),
+            ("instr", I("jr", rs=14)),
+        ], name="handler_precise")
+        assert outcome.kind == "exit"
+        assert outcome.exit_code == 1  # r1 = violation cause (load)
+        assert reg(outcome, 8) == 65536
+
+    def test_handler_sees_complete_li_expansion(self):
+        """A multi-instruction immediate materialization (lui/ori) must
+        not be split across a faulting load: the handler used to observe
+        the high half only."""
+        outcome = cross_run([
+            ("instr", I("li", rd=6, imm=-2147483647)),
+            ("instr", I("li", rd=1, label="L_handler")),
+            ("instr", I("sethnd", rs=1)),
+            ("instr", I("lw", rd=1, rs=8, imm=0)),  # r8=0: faults
+            ("label", "L_handler"),
+            ("instr", I("jr", rs=14)),
+        ], name="handler_li_split")
+        assert outcome.kind == "exit"
+        assert reg(outcome, 6) == 0x80000001
+
+    def test_store_not_hoisted_above_earlier_load(self):
+        """The scheduler ordered a store only against the most recent
+        memory op, so it could slide above an *earlier* load of the same
+        address; f5 must hold the pre-store bytes."""
+        outcome = cross_run([
+            ("instr", I("ori", rd=1, rs=4, imm=-92414695)),
+            ("instr", I("li", rd=5, imm=536916376)),
+            ("instr", I("lfd", fd=5, rs=5, imm=24)),
+            ("instr", I("lfd", fd=1, rs=5, imm=32)),
+            ("instr", I("sh", rt=1, rs=5, imm=24)),
+            ("instr", I("jr", rs=14)),
+        ], name="store_load_order")
+        assert outcome.kind == "exit"
+        assert outcome.fregs[5] == 0  # loaded before the sh landed
+
+    def test_fmovs_narrows_to_single_precision(self):
+        """``fmovs`` must round its operand to f32 like every other
+        single-precision op; the targets used to copy the double
+        verbatim."""
+        outcome = cross_run([
+            ("instr", I("li", rd=11, imm=686991420)),
+            ("instr", I("cvtdwu", fd=0, rs=11)),
+            ("instr", I("fmovs", fd=7, fs=0)),
+            ("instr", I("jr", rs=14)),
+        ], name="fmovs_rounds")
+        assert outcome.kind == "exit"
+        assert outcome.fregs[7] == f64_to_bits(round_f32(686991420.0))
+
+
+class TestUnifiedTrapSemantics:
+    """Satellite: interpreter and targets share one error/clamp path."""
+
+    def test_integer_divide_by_zero_message_matches(self):
+        outcome = cross_run([
+            ("instr", I("li", rd=1, imm=7)),
+            ("instr", I("div", rd=3, rs=1, rt=2)),  # r2 = 0
+            ("instr", I("jr", rs=14)),
+        ], name="div_zero")
+        assert outcome.kind == "vmerror"
+        assert outcome.detail == semantics.INT_DIV_ZERO_MSG
+
+    def test_fp_divide_by_zero_message_matches(self):
+        outcome = cross_run([
+            ("instr", I("fdivd", fd=2, fs=1, ft=0)),  # f0 = 0.0
+            ("instr", I("jr", rs=14)),
+        ], name="fdiv_zero")
+        assert outcome.kind == "vmerror"
+        assert outcome.detail == semantics.FP_DIV_ZERO_MSG
+
+    def test_f2i_overflow_clamps_identically(self):
+        outcome = cross_run([
+            ("instr", I("li", rd=1, imm=-1)),        # 0xFFFFFFFF
+            ("instr", I("cvtdwu", fd=1, rs=1)),      # 4294967295.0
+            ("instr", I("fmuld", fd=2, fs=1, ft=1)),  # way out of i32 range
+            ("instr", I("cvtwd", rd=3, fs=2)),
+            ("instr", I("jr", rs=14)),
+        ], name="f2i_clamp")
+        assert outcome.kind == "exit"
+        assert reg(outcome, 3) == semantics.F2I_CLAMP
+
+
+class TestArithmeticCorners:
+    """Satellite: shift masking and division fixed points, end to end."""
+
+    def test_int32_min_div_minus_one(self):
+        outcome = cross_run([
+            ("instr", I("li", rd=1, imm=-2147483648)),
+            ("instr", I("li", rd=2, imm=-1)),
+            ("instr", I("div", rd=3, rs=1, rt=2)),
+            ("instr", I("jr", rs=14)),
+        ], name="div_overflow")
+        assert outcome.kind == "exit"
+        assert reg(outcome, 3) == 0x80000000  # wraps to INT32_MIN
+
+    def test_int32_min_rem_minus_one(self):
+        outcome = cross_run([
+            ("instr", I("li", rd=1, imm=-2147483648)),
+            ("instr", I("li", rd=2, imm=-1)),
+            ("instr", I("rem", rd=3, rs=1, rt=2)),
+            ("instr", I("jr", rs=14)),
+        ], name="rem_overflow")
+        assert outcome.kind == "exit"
+        assert reg(outcome, 3) == 0
+
+    @pytest.mark.parametrize("op", ["sll", "srl", "sra"])
+    def test_register_shift_amount_masks_to_five_bits(self, op):
+        outcome = cross_run([
+            ("instr", I("li", rd=1, imm=-2147483648)),
+            ("instr", I("li", rd=2, imm=33)),        # == shift by 1
+            ("instr", I(op, rd=3, rs=1, rt=2)),
+            ("instr", I("li", rd=4, imm=1)),
+            ("instr", I(op, rd=5, rs=1, rt=4)),
+            ("instr", I("jr", rs=14)),
+        ], name=f"shift_mask_{op}")
+        assert outcome.kind == "exit"
+        assert reg(outcome, 3) == reg(outcome, 5)
+
+    @pytest.mark.parametrize("op", ["slli", "srli", "srai"])
+    def test_immediate_shift_amount_masks_to_five_bits(self, op):
+        outcome = cross_run([
+            ("instr", I("li", rd=1, imm=-2147483648)),
+            ("instr", I(op, rd=3, rs=1, imm=33)),
+            ("instr", I(op, rd=5, rs=1, imm=1)),
+            ("instr", I("jr", rs=14)),
+        ], name=f"shifti_mask_{op}")
+        assert outcome.kind == "exit"
+        assert reg(outcome, 3) == reg(outcome, 5)
+
+
+EXTENSION_CASES = [
+    ("sext8", 0x7F, 0x0000007F),
+    ("sext8", 0x80, 0xFFFFFF80),
+    ("sext8", 0xFF, 0xFFFFFFFF),
+    ("sext8", 0x1FF, 0xFFFFFFFF),   # only the low byte matters
+    ("sext16", 0x7FFF, 0x00007FFF),
+    ("sext16", 0x8000, 0xFFFF8000),
+    ("sext16", 0xFFFF, 0xFFFFFFFF),
+    ("zext8", 0xFF, 0x000000FF),
+    ("zext8", 0x180, 0x00000080),
+    ("zext16", 0xFFFF, 0x0000FFFF),
+    ("zext16", 0x18000, 0x00008000),
+]
+
+
+class TestExtensionBoundaries:
+    """Satellite: sign/zero extension at the sign-bit boundaries, through
+    the shared helper and end to end on every executor."""
+
+    @pytest.mark.parametrize("op,value,expected", EXTENSION_CASES)
+    def test_shared_helper(self, op, value, expected):
+        assert semantics.extend(op, value) == expected
+
+    @pytest.mark.parametrize("op,value,expected", EXTENSION_CASES)
+    def test_all_executors(self, op, value, expected):
+        outcome = cross_run([
+            ("instr", I("li", rd=1, imm=u32(value))),
+            ("instr", I(op, rd=3, rs=1)),
+            ("instr", I("jr", rs=14)),
+        ], name=f"ext_{op}_{value:x}")
+        assert outcome.kind == "exit"
+        assert reg(outcome, 3) == expected
