@@ -36,9 +36,12 @@ from repro.engine import Engine
 from repro.errors import (
     AccessViolation,
     CompileError,
+    DeadlineExceeded,
     HostCallError,
+    QuotaExceeded,
     ReproError,
     SandboxViolation,
+    ServiceOverloaded,
     UnknownArchitectureError,
     VerifyError,
 )
@@ -57,6 +60,14 @@ from repro.omnivm.objfile import ObjectModule
 from repro.runtime.host import Host
 from repro.runtime.loader import load_for_interpretation, run_module
 from repro.runtime.native_loader import load_for_target, run_on_target
+from repro.service import (
+    FaultInjector,
+    ModuleHost,
+    ModuleRequest,
+    ModuleResponse,
+    RequestQuota,
+    RetryPolicy,
+)
 from repro.translators import ARCHITECTURES, TranslationOptions, translate
 
 __version__ = "1.0.0"
@@ -66,19 +77,28 @@ __all__ = [
     "AccessViolation",
     "CompileError",
     "CompileOptions",
+    "DeadlineExceeded",
     "Engine",
+    "FaultInjector",
     "Host",
     "HostCallError",
     "LinkedProgram",
     "MOBILE_NOSFI",
     "MOBILE_SFI",
     "MetricsCollector",
+    "ModuleHost",
+    "ModuleRequest",
+    "ModuleResponse",
     "NATIVE_CC",
     "NATIVE_GCC",
     "ObjectModule",
     "PROFILES",
+    "QuotaExceeded",
     "ReproError",
+    "RequestQuota",
+    "RetryPolicy",
     "SandboxViolation",
+    "ServiceOverloaded",
     "TranslationCache",
     "TranslationOptions",
     "UnknownArchitectureError",

@@ -25,12 +25,33 @@ A cache hit returns the previously verified translation, so the loader
 skips *both* module verification and SFI verification — the translated
 code was checked when it entered the cache and its content hash pins the
 exact input it was produced from.
+
+Durability guarantees (the service layer leans on all three):
+
+* **atomic disk writes** — entries are written to a temporary file in
+  the cache directory and :func:`os.replace`\\ d into place, so a reader
+  never observes a truncated entry and an interrupted writer leaves no
+  half-entry behind (a later store repairs any stale temp file's slot);
+* **integrity-checked disk reads** — every entry carries a SHA-256 over
+  its serialized instruction payload; a corrupted or tampered entry
+  fails the check, is deleted, and reads as a miss
+  (``cache.disk_reject``), so nothing unverified ever executes;
+* **disk-aware invalidation** — ``invalidate(program=...)`` /
+  ``(arch=...)`` matches persisted entries (each payload stores its own
+  key) as well as resident ones, so an entry evicted from the LRU cannot
+  be resurrected after its program was invalidated.
+
+All public methods are safe to call from multiple threads: one internal
+:class:`threading.RLock` serializes mutation of the LRU, the counters,
+and the disk directory (see :class:`repro.service.ModuleHost`).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, fields
 from pathlib import Path
@@ -42,8 +63,9 @@ from repro.translators import target_spec
 from repro.translators.base import TranslatedModule, TranslationOptions
 
 #: Bump when the on-disk entry layout changes; mismatched files are
-#: treated as misses and rewritten.
-DISK_FORMAT = 1
+#: treated as misses and rewritten.  Format 2 added the mandatory
+#: ``instr_sha256`` integrity digest.
+DISK_FORMAT = 2
 
 #: MInstr fields persisted to disk (caches/latencies are recomputed).
 _MINSTR_FIELDS = (
@@ -87,6 +109,9 @@ class CacheStats:
     stores: int = 0
     disk_hits: int = 0
     invalidations: int = 0
+    #: disk entries rejected as unreadable, stale-format, or failing the
+    #: integrity digest (each read as a miss, never executed)
+    disk_rejects: int = 0
 
     def to_dict(self) -> dict[str, int]:
         return {
@@ -96,6 +121,7 @@ class CacheStats:
             "stores": self.stores,
             "disk_hits": self.disk_hits,
             "invalidations": self.invalidations,
+            "disk_rejects": self.disk_rejects,
         }
 
 
@@ -106,6 +132,10 @@ class TranslationCache:
     entries are evicted first); ``disk_dir`` (optional) enables
     persistence — evicted or restart-lost entries are reloaded from disk
     on the next request and re-enter the LRU.
+
+    Instances are thread-safe: every public method takes the internal
+    reentrant lock, so a :class:`repro.service.ModuleHost` worker pool
+    can share one cache without lost updates or torn counters.
     """
 
     def __init__(self, capacity: int = 64,
@@ -118,9 +148,11 @@ class TranslationCache:
             OrderedDict()
         )
         self._stats = CacheStats()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # -- lookup ---------------------------------------------------------------
 
@@ -130,33 +162,35 @@ class TranslationCache:
         """Return the cached translation for this exact (program, arch,
         options) content, or None on a miss."""
         key = cache_key(program, arch, options)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self._stats.hits += 1
-            metrics.count("cache.hit")
-            return entry
-        entry = self._disk_load(key)
-        if entry is not None:
-            self._insert(key, entry)
-            self._stats.hits += 1
-            self._stats.disk_hits += 1
-            metrics.count("cache.hit")
-            metrics.count("cache.disk_hit")
-            return entry
-        self._stats.misses += 1
-        metrics.count("cache.miss")
-        return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                metrics.count("cache.hit")
+                return entry
+            entry = self._disk_load(key)
+            if entry is not None:
+                self._insert(key, entry)
+                self._stats.hits += 1
+                self._stats.disk_hits += 1
+                metrics.count("cache.hit")
+                metrics.count("cache.disk_hit")
+                return entry
+            self._stats.misses += 1
+            metrics.count("cache.miss")
+            return None
 
     def put(self, program: LinkedProgram, arch: str,
             options: TranslationOptions | None,
             translated: TranslatedModule) -> None:
         """Insert a (verified) translation."""
         key = cache_key(program, arch, options)
-        self._insert(key, translated)
-        self._stats.stores += 1
-        metrics.count("cache.store")
-        self._disk_store(key, translated)
+        with self._lock:
+            self._insert(key, translated)
+            self._stats.stores += 1
+            metrics.count("cache.store")
+            self._disk_store(key, translated)
 
     def _insert(self, key: tuple[str, str, str],
                 translated: TranslatedModule) -> None:
@@ -172,25 +206,58 @@ class TranslationCache:
     def invalidate(self, program: LinkedProgram | None = None,
                    arch: str | None = None) -> int:
         """Drop entries matching *program* and/or *arch* (both None =
-        everything).  Removes matching disk entries too.  Returns the
-        number of in-memory entries dropped."""
+        everything).  Removes matching disk entries too — including
+        entries the LRU already evicted but disk still holds (each
+        payload stores its own key, which is matched against the
+        filter), so an invalidated translation can never be resurrected
+        by a later :meth:`get`.  Disk-only removals are counted in
+        ``stats().invalidations``; the return value is the number of
+        in-memory entries dropped."""
         digest = program_digest(program) if program is not None else None
-        doomed = [
-            key for key in self._entries
-            if (digest is None or key[0] == digest)
-            and (arch is None or key[1] == arch)
-        ]
-        for key in doomed:
-            del self._entries[key]
-            self._disk_remove(key)
-        self._stats.invalidations += len(doomed)
-        if digest is None and arch is None and self.disk_dir is not None:
-            for path in self.disk_dir.glob("*.json"):
+        with self._lock:
+            doomed = [
+                key for key in self._entries
+                if (digest is None or key[0] == digest)
+                and (arch is None or key[1] == arch)
+            ]
+            for key in doomed:
+                del self._entries[key]
+                self._disk_remove(key)
+            self._stats.invalidations += len(doomed)
+            self._stats.invalidations += self._disk_invalidate(digest, arch)
+            return len(doomed)
+
+    def _disk_invalidate(self, digest: str | None, arch: str | None) -> int:
+        """Remove persisted entries matching the filter whose keys are
+        no longer resident (evicted or written by another process).
+        Returns the number of files removed."""
+        if self.disk_dir is None or not self.disk_dir.is_dir():
+            return 0
+        removed = 0
+        for path in self.disk_dir.glob("*.json"):
+            if digest is None and arch is None:
+                matches = True
+            else:
+                try:
+                    key = json.loads(path.read_text()).get("key")
+                except (OSError, ValueError):
+                    # Unreadable entries match every filter: they can
+                    # only ever read as misses, so invalidation may
+                    # reclaim them.
+                    key = None
+                matches = (
+                    key is None
+                    or not isinstance(key, list) or len(key) != 3
+                    or ((digest is None or key[0] == digest)
+                        and (arch is None or key[1] == arch))
+                )
+            if matches:
                 try:
                     path.unlink()
+                    removed += 1
                 except OSError:
                     pass
-        return len(doomed)
+        return removed
 
     def clear(self) -> int:
         """Drop every entry (memory and disk)."""
@@ -201,6 +268,11 @@ class TranslationCache:
     def stats(self) -> CacheStats:
         return self._stats
 
+    @property
+    def lock(self) -> threading.RLock:
+        """The internal lock (exposed for multi-step atomic sections)."""
+        return self._lock
+
     # -- disk persistence -----------------------------------------------------
 
     def _disk_path(self, key: tuple[str, str, str]) -> Path | None:
@@ -209,11 +281,19 @@ class TranslationCache:
         name = hashlib.sha256("|".join(key).encode()).hexdigest()[:32]
         return self.disk_dir / f"{name}.json"
 
+    @staticmethod
+    def _instr_digest(instrs_json: str) -> str:
+        return hashlib.sha256(instrs_json.encode()).hexdigest()
+
     def _disk_store(self, key: tuple[str, str, str],
                     translated: TranslatedModule) -> None:
         path = self._disk_path(key)
         if path is None:
             return
+        instrs_json = json.dumps([
+            {name: getattr(instr, name) for name in _MINSTR_FIELDS}
+            for instr in translated.instrs
+        ])
         payload = {
             "format": DISK_FORMAT,
             "key": list(key),
@@ -224,16 +304,26 @@ class TranslationCache:
                 str(omni): native
                 for omni, native in translated.omni_to_native.items()
             },
-            "instrs": [
-                {name: getattr(instr, name) for name in _MINSTR_FIELDS}
-                for instr in translated.instrs
-            ],
+            "instr_sha256": self._instr_digest(instrs_json),
+            "instrs": json.loads(instrs_json),
         }
+        # Write-then-rename: a concurrent reader sees either the old
+        # entry or the complete new one, never a truncated file, and an
+        # interrupted writer leaves at most a stale *.tmp the next store
+        # replaces.
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(json.dumps(payload))
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, path)
         except OSError:
-            pass  # persistence is best-effort; the LRU still has it
+            # persistence is best-effort; the LRU still has it
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
     def _disk_load(self, key: tuple[str, str, str]
                    ) -> TranslatedModule | None:
@@ -242,23 +332,35 @@ class TranslationCache:
             return None
         try:
             payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            if (payload.get("format") != DISK_FORMAT
+                    or payload.get("key") != list(key)):
+                raise ValueError("stale format or foreign key")
+            instrs_json = json.dumps(payload["instrs"])
+            if payload.get("instr_sha256") != self._instr_digest(instrs_json):
+                raise ValueError("integrity digest mismatch")
+            arch = key[1]  # already verified equal to the payload key
+            options = TranslationOptions(**payload["options"])
+            module = TranslatedModule(
+                spec=target_spec(arch),
+                options=options,
+                instrs=[MInstr(**fields_) for fields_ in payload["instrs"]],
+                omni_to_native={
+                    int(omni): native
+                    for omni, native in payload["omni_to_native"].items()
+                },
+                entry_native=payload["entry_native"],
+            )
+        except (OSError, ValueError, TypeError, KeyError):
+            # Truncated, tampered, stale-format, or otherwise unusable:
+            # reject it (never execute it), delete it so the slot reads
+            # clean, and let the caller re-translate and repair.
+            self._stats.disk_rejects += 1
+            metrics.count("cache.disk_reject")
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
-        if (payload.get("format") != DISK_FORMAT
-                or payload.get("key") != list(key)):
-            return None
-        arch = payload["arch"]
-        options = TranslationOptions(**payload["options"])
-        module = TranslatedModule(
-            spec=target_spec(arch),
-            options=options,
-            instrs=[MInstr(**fields_) for fields_ in payload["instrs"]],
-            omni_to_native={
-                int(omni): native
-                for omni, native in payload["omni_to_native"].items()
-            },
-            entry_native=payload["entry_native"],
-        )
         return module
 
     def _disk_remove(self, key: tuple[str, str, str]) -> None:

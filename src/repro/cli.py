@@ -14,13 +14,18 @@ Usage (also via ``python -m repro``):
     omnicc bench    [--table 1|2|3|4|5|6] [--figure 1]
     omnicc difftest [--count N] [--seed S] [--targets mips,ppc]
                     [--json] [--no-minimize] [--stats]
+    omnicc serve    --requests reqs.json [--workers N] [--queue-depth N]
+                    [--deadline SECONDS] [--json] [--stats]
 
 ``compile`` produces an Omniware object file; ``link`` produces a mobile
 module; ``run`` executes on the reference VM or a translated target
 (with SFI by default, exactly as a host would); ``bench`` prints a
 reproduced table from the paper; ``difftest`` cross-executes seeded
 random programs on the interpreter and every target simulator and
-reports any semantic divergence (exit status 1 if one is found).
+reports any semantic divergence (exit status 1 if one is found);
+``serve`` drives a batch of requests through the concurrent
+:class:`~repro.service.ModuleHost` (worker pool, deadlines, quotas,
+interpreter fallback) — the service layer's benchmarking entry point.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro import metrics
@@ -242,6 +248,104 @@ def cmd_difftest(args: argparse.Namespace) -> int:
     return 0 if summary.clean else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Batch mode for the module-hosting service: read a JSON request
+    file, run everything through one :class:`ModuleHost`, and report
+    per-request outcomes plus service statistics.
+
+    The request file is a JSON array; each element names a module
+    (``"path"`` — any format ``run`` accepts — or inline ``"source"``)
+    plus optional ``"arch"``, ``"entry"``, ``"deadline_seconds"``,
+    ``"fuel"``, ``"max_output_bytes"``, and ``"repeat"`` (clone the
+    request N times, for load generation).
+    """
+    from repro.engine import Engine
+    from repro.service import ModuleRequest, RequestQuota
+
+    spec_list = json.loads(Path(args.requests).read_text())
+    if not isinstance(spec_list, list):
+        print("omnicc: serve: request file must be a JSON array",
+              file=sys.stderr)
+        return 2
+    programs: dict[str, LinkedProgram] = {}
+    requests = []
+    for index, spec in enumerate(spec_list):
+        if "path" in spec:
+            if spec["path"] not in programs:
+                programs[spec["path"]] = _program_from_path(
+                    spec["path"], args.opt)
+            program: LinkedProgram | str = programs[spec["path"]]
+        elif "source" in spec:
+            program = spec["source"]
+        else:
+            print(f"omnicc: serve: request {index} has neither "
+                  f"'path' nor 'source'", file=sys.stderr)
+            return 2
+        quota = RequestQuota(
+            fuel=spec.get("fuel", RequestQuota.fuel),
+            segment_size=spec.get("segment_size"),
+            max_output_bytes=spec.get(
+                "max_output_bytes", RequestQuota.max_output_bytes),
+        )
+        base_id = spec.get("id", f"{index}")
+        repeat = int(spec.get("repeat", 1))
+        for clone in range(repeat):
+            requests.append(ModuleRequest(
+                program=program,
+                target=spec.get("arch"),
+                entry=spec.get("entry"),
+                deadline_seconds=spec.get("deadline_seconds"),
+                quota=quota,
+                request_id=(base_id if repeat == 1
+                            else f"{base_id}#{clone}"),
+            ))
+
+    engine = Engine(target=args.arch)
+    start = time.perf_counter()
+    with engine.serve(workers=args.workers, queue_depth=args.queue_depth,
+                      default_deadline=args.deadline) as host:
+        responses = host.run_batch(requests)
+    elapsed = time.perf_counter() - start
+
+    summary = {
+        "requests": len(responses),
+        "ok": sum(r.ok for r in responses),
+        "fallbacks": sum(r.fallback for r in responses),
+        "errors": sum(not r.ok for r in responses),
+        "elapsed_seconds": elapsed,
+        "throughput_rps": len(responses) / elapsed if elapsed else None,
+        "workers": args.workers,
+        "service": host.stats.to_dict(),
+    }
+    if args.json:
+        summary["responses"] = [r.to_dict() for r in responses]
+        print(json.dumps(summary, indent=2))
+    else:
+        for r in responses:
+            status = "ok" if r.ok else f"ERROR {r.error}"
+            extras = []
+            if r.fallback:
+                extras.append("fallback->omnivm")
+            if r.retries:
+                extras.append(f"retries={r.retries}")
+            extra = f"  [{', '.join(extras)}]" if extras else ""
+            print(f"{r.request_id:<12} {status:<24} arch={r.arch:<7}"
+                  f"exit={r.exit_code!s:<5} "
+                  f"{r.latency_seconds * 1e3:8.2f} ms{extra}")
+        pct = host.stats.latency_percentiles()
+        print(f"\n{summary['requests']} requests in {elapsed:.3f}s "
+              f"({summary['throughput_rps']:.1f} req/s, "
+              f"{args.workers} workers): {summary['ok']} ok, "
+              f"{summary['fallbacks']} fallbacks, "
+              f"{summary['errors']} errors; "
+              f"latency p50 {pct['p50'] * 1e3:.2f} ms / "
+              f"p90 {pct['p90'] * 1e3:.2f} ms / "
+              f"p99 {pct['p99'] * 1e3:.2f} ms")
+    if args.stats:
+        print(f"\n{engine.stats_text()}", file=sys.stderr)
+    return 0 if summary["errors"] == 0 else 1
+
+
 def cmd_disasm(args: argparse.Namespace) -> int:
     program = _program_from_path(args.module, 2)
     print(disassemble_program(program, args.function))
@@ -344,6 +448,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true",
                    help="print engine pipeline metrics to stderr")
     p.set_defaults(fn=cmd_difftest)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a batch of requests through the concurrent "
+             "module-hosting service (worker pool, deadlines, quotas, "
+             "interpreter fallback)")
+    p.add_argument("--requests", required=True,
+                   help="JSON array of request specs "
+                        "({'path'|'source', 'arch', 'deadline_seconds', "
+                        "'fuel', 'max_output_bytes', 'repeat', ...})")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--queue-depth", type=int, default=64)
+    p.add_argument("--arch", default=None,
+                   choices=("omnivm",) + tuple(ARCHITECTURES),
+                   help="default target for requests that set no 'arch' "
+                        "(default: the reference interpreter)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="default per-request deadline in seconds")
+    p.add_argument("--json", action="store_true",
+                   help="emit the summary and every response as JSON")
+    p.add_argument("--stats", action="store_true",
+                   help="print engine pipeline metrics to stderr")
+    p.add_argument("-O", "--opt", type=int, default=2, choices=(0, 1, 2))
+    p.set_defaults(fn=cmd_serve)
 
     return parser
 

@@ -33,7 +33,7 @@ unchanged behaviour.
 from __future__ import annotations
 
 from contextlib import nullcontext
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro import metrics
 from repro.cache import TranslationCache
@@ -46,6 +46,9 @@ from repro.runtime.loader import LoadedModule, load_for_interpretation
 from repro.runtime.native_loader import NativeModule, load_for_target
 from repro.translators import ARCHITECTURES, translate
 from repro.translators.base import TranslatedModule, TranslationOptions
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service import ModuleHost
 
 #: Pseudo-target naming the reference interpreter.
 INTERPRETER = "omnivm"
@@ -204,16 +207,38 @@ class Engine:
         options: TranslationOptions | str | None = None,
         entry: str | None = None,
         host: Host | None = None,
+        verify: bool = True,
+        fuel: int | None = None,
+        segment_size: int | None = None,
     ) -> tuple[int, LoadedModule | NativeModule]:
         """Compile (when given source text), load, and execute; returns
         ``(exit code, loaded module)``.  The module exposes ``.host``
-        for the program's emitted output."""
+        for the program's emitted output.
+
+        ``verify``, ``fuel``, and ``segment_size`` are forwarded to
+        :meth:`load`, so a bounded (or unverified) run no longer needs
+        to hand-roll the compile/load/run sequence.
+        """
         if not isinstance(program, LinkedProgram):
             program = self.compile(program)
-        module = self.load(program, target, options, host)
+        module = self.load(program, target, options, host, verify=verify,
+                           fuel=fuel, segment_size=segment_size)
         with self._collecting():
             code = module.run(entry)
         return code, module
+
+    def serve(self, **kwargs) -> "ModuleHost":
+        """Create a :class:`~repro.service.ModuleHost` fronting this
+        engine: a concurrent execution service with worker threads,
+        per-request deadlines and quotas, retry with backoff, and
+        interpreter fallback.  Keyword arguments are forwarded to the
+        :class:`~repro.service.ModuleHost` constructor.  Use as a
+        context manager (``with engine.serve(workers=4) as host:``) or
+        call :meth:`~repro.service.ModuleHost.start` /
+        :meth:`~repro.service.ModuleHost.stop` explicitly."""
+        from repro.service import ModuleHost
+
+        return ModuleHost(self, **kwargs)
 
     # -- measurement ----------------------------------------------------------
 

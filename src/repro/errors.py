@@ -165,3 +165,46 @@ class VMRuntimeError(VMError):
 class FuelExhausted(VMError):
     """The simulation exceeded its instruction budget (guards against
     non-terminating modules in tests)."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the module-hosting service
+    (:mod:`repro.service`)."""
+
+
+class DeadlineExceeded(ServiceError):
+    """A hosted request's wall-clock deadline expired before the module
+    finished.
+
+    The service watchdog enforces deadlines by cutting the running
+    machine's fuel, so the module stops at its next instruction
+    boundary; the resulting :class:`FuelExhausted` is converted into
+    this type when the deadline — not the fuel quota — was the cause.
+    """
+
+    def __init__(self, message: str = "deadline exceeded",
+                 deadline_seconds: float | None = None):
+        super().__init__(message)
+        self.deadline_seconds = deadline_seconds
+
+
+class QuotaExceeded(ServiceError):
+    """A hosted request exceeded a per-request resource quota (e.g. the
+    output-byte cap)."""
+
+    def __init__(self, message: str, quota: str = "",
+                 limit: int | None = None):
+        super().__init__(message)
+        self.quota = quota
+        self.limit = limit
+
+
+class ServiceOverloaded(ServiceError):
+    """The service's bounded request queue is full; the request was
+    rejected rather than queued (graceful degradation under load)."""
+
+
+class TransientFault(ServiceError):
+    """An injected or environmental failure the service treats as
+    retryable (fault-injection hooks raise this to exercise the
+    retry-with-backoff path)."""

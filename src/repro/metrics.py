@@ -32,13 +32,16 @@ Usage::
 
 Stage names are dotted paths (``frontend.lex``, ``translate``,
 ``verify.sfi``, ``execute``); counters likewise (``translate.native_instrs``,
-``execute.sfi.dynamic``, ``cache.hit``).  See DESIGN.md §"Engine, cache
-and metrics" for the full vocabulary.
+``execute.sfi.dynamic``, ``cache.hit``, ``cache.disk_reject``, and the
+module-hosting service's ``service.request`` / ``service.fallback`` /
+``service.retry`` / ``service.timeout`` family).  See DESIGN.md
+§"Engine, cache and metrics" for the full vocabulary.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from typing import Iterator
@@ -54,9 +57,13 @@ __all__ = [
 
 
 class MetricsCollector:
-    """Accumulates named counters and per-stage wall-clock timings."""
+    """Accumulates named counters and per-stage wall-clock timings.
 
-    __slots__ = ("counters", "stage_seconds", "stage_calls")
+    Recording is thread-safe (one internal lock guards the read-modify-
+    write updates), so a :class:`repro.service.ModuleHost` worker pool
+    can share the engine's collector without losing increments."""
+
+    __slots__ = ("counters", "stage_seconds", "stage_calls", "_lock")
 
     def __init__(self) -> None:
         #: name -> accumulated integer count
@@ -65,15 +72,20 @@ class MetricsCollector:
         self.stage_seconds: dict[str, float] = {}
         #: stage name -> number of times the stage ran
         self.stage_calls: dict[str, int] = {}
+        self._lock = threading.RLock()
 
     # -- recording ------------------------------------------------------------
 
     def count(self, name: str, amount: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def record_stage(self, name: str, seconds: float) -> None:
-        self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
-        self.stage_calls[name] = self.stage_calls.get(name, 0) + 1
+        with self._lock:
+            self.stage_seconds[name] = (
+                self.stage_seconds.get(name, 0.0) + seconds
+            )
+            self.stage_calls[name] = self.stage_calls.get(name, 0) + 1
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -85,20 +97,23 @@ class MetricsCollector:
 
     def merge(self, other: "MetricsCollector") -> None:
         """Fold *other*'s measurements into this collector."""
-        for name, amount in other.counters.items():
-            self.count(name, amount)
-        for name, seconds in other.stage_seconds.items():
-            self.stage_seconds[name] = (
-                self.stage_seconds.get(name, 0.0) + seconds
-            )
-            self.stage_calls[name] = (
-                self.stage_calls.get(name, 0) + other.stage_calls.get(name, 0)
-            )
+        with self._lock:
+            for name, amount in other.counters.items():
+                self.count(name, amount)
+            for name, seconds in other.stage_seconds.items():
+                self.stage_seconds[name] = (
+                    self.stage_seconds.get(name, 0.0) + seconds
+                )
+                self.stage_calls[name] = (
+                    self.stage_calls.get(name, 0)
+                    + other.stage_calls.get(name, 0)
+                )
 
     def reset(self) -> None:
-        self.counters.clear()
-        self.stage_seconds.clear()
-        self.stage_calls.clear()
+        with self._lock:
+            self.counters.clear()
+            self.stage_seconds.clear()
+            self.stage_calls.clear()
 
     # -- derived quantities ---------------------------------------------------
 

@@ -1,5 +1,8 @@
 """The content-addressed translation cache."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro import metrics
@@ -204,3 +207,118 @@ class TestDiskPersistence:
                   translate(p16, "mips", MOBILE_SFI))
         if program_digest(p8) != program_digest(p16):
             assert cache.get(p8, "mips", MOBILE_SFI) is None
+
+
+class TestDurability:
+    """Regressions for the cache-durability bugs: torn disk writes,
+    disk entries surviving a filtered invalidate after LRU eviction, and
+    unverified (tampered) disk entries being executed."""
+
+    def test_interrupted_store_never_corrupts_existing_entry(
+            self, tmp_path, program, monkeypatch):
+        # A good entry is on disk; a later overwrite dies mid-write
+        # (e.g. disk full, crash).  The original entry must survive —
+        # the bug was an in-place write_text that left a torn file.
+        cache = TranslationCache(disk_dir=tmp_path)
+        cache.put(program, "mips", MOBILE_SFI,
+                  translate(program, "mips", MOBILE_SFI))
+        real_write = Path.write_text
+
+        def torn_write(self, text, *args, **kwargs):
+            real_write(self, text[: len(text) // 3])
+            raise OSError("disk full mid-write")
+
+        monkeypatch.setattr(Path, "write_text", torn_write)
+        writer = TranslationCache(disk_dir=tmp_path)  # fresh LRU
+        writer.put(program, "mips", MOBILE_SFI,
+                   translate(program, "mips", MOBILE_SFI))
+        monkeypatch.undo()
+
+        fresh = TranslationCache(disk_dir=tmp_path)
+        assert fresh.get(program, "mips", MOBILE_SFI) is not None
+        assert fresh.stats().disk_rejects == 0
+        assert not list(tmp_path.glob("*.tmp"))  # no torn leftovers
+
+    def test_truncated_entry_is_clean_miss_and_repaired(
+            self, tmp_path, program):
+        cache = TranslationCache(disk_dir=tmp_path)
+        translated = translate(program, "mips", MOBILE_SFI)
+        cache.put(program, "mips", MOBILE_SFI, translated)
+        [path] = tmp_path.glob("*.json")
+        blob = path.read_text()
+        path.write_text(blob[: len(blob) // 2])  # simulate a torn entry
+
+        fresh = TranslationCache(disk_dir=tmp_path)
+        assert fresh.get(program, "mips", MOBILE_SFI) is None
+        assert fresh.stats().disk_rejects == 1
+        assert not path.exists()  # rejected entries are deleted
+        fresh.put(program, "mips", MOBILE_SFI, translated)  # repair
+        again = TranslationCache(disk_dir=tmp_path)
+        assert again.get(program, "mips", MOBILE_SFI) is not None
+
+    def test_filtered_invalidate_reaches_evicted_disk_entries(
+            self, tmp_path, program, other_program):
+        # put -> evict past LRU capacity -> invalidate(program) -> the
+        # disk copy must die too, or get() resurrects invalidated code.
+        cache = TranslationCache(capacity=1, disk_dir=tmp_path)
+        cache.put(program, "mips", MOBILE_SFI,
+                  translate(program, "mips", MOBILE_SFI))
+        cache.put(other_program, "mips", MOBILE_SFI,
+                  translate(other_program, "mips", MOBILE_SFI))
+        assert cache.stats().evictions == 1  # program left the LRU
+
+        dropped = cache.invalidate(program=program)
+        assert dropped == 0  # it was not resident ...
+        assert cache.stats().invalidations == 1  # ... but disk matched
+        assert cache.get(program, "mips", MOBILE_SFI) is None
+        assert cache.get(other_program, "mips", MOBILE_SFI) is not None
+
+    def test_filtered_invalidate_by_arch_reaches_disk(
+            self, tmp_path, program):
+        cache = TranslationCache(capacity=1, disk_dir=tmp_path)
+        cache.put(program, "mips", MOBILE_SFI,
+                  translate(program, "mips", MOBILE_SFI))
+        cache.put(program, "sparc", MOBILE_SFI,
+                  translate(program, "sparc", MOBILE_SFI))  # evicts mips
+        cache.invalidate(arch="mips")
+        assert cache.get(program, "mips", MOBILE_SFI) is None
+        assert cache.get(program, "sparc", MOBILE_SFI) is not None
+
+    def test_tampered_disk_entry_is_rejected(self, tmp_path, program):
+        # Valid JSON whose instruction payload was modified must fail
+        # the integrity digest — the bug was executing it unverified.
+        cache = TranslationCache(disk_dir=tmp_path)
+        cache.put(program, "mips", MOBILE_SFI,
+                  translate(program, "mips", MOBILE_SFI))
+        [path] = tmp_path.glob("*.json")
+        payload = json.loads(path.read_text())
+        payload["instrs"][0], payload["instrs"][1] = (
+            payload["instrs"][1], payload["instrs"][0])
+        path.write_text(json.dumps(payload))
+
+        fresh = TranslationCache(disk_dir=tmp_path)
+        with metrics.collect() as collector:
+            assert fresh.get(program, "mips", MOBILE_SFI) is None
+        assert fresh.stats().disk_rejects == 1
+        assert collector.counters["cache.disk_reject"] == 1
+        assert not path.exists()
+
+    def test_bit_flip_anywhere_is_rejected(self, tmp_path, program):
+        cache = TranslationCache(disk_dir=tmp_path)
+        cache.put(program, "mips", MOBILE_SFI,
+                  translate(program, "mips", MOBILE_SFI))
+        [path] = tmp_path.glob("*.json")
+        blob = bytearray(path.read_bytes())
+        flip_at = blob.find(b'"instrs"') + 24  # inside the payload
+        blob[flip_at] ^= 0x01
+        path.write_bytes(bytes(blob))
+
+        fresh = TranslationCache(disk_dir=tmp_path)
+        entry = fresh.get(program, "mips", MOBILE_SFI)
+        # Either the flip landed in structure (reject) or in a value the
+        # digest covers (reject); a surviving hit would be the bug.
+        assert entry is None
+        assert fresh.stats().disk_rejects == 1
+
+    def test_stats_include_disk_rejects(self, program):
+        assert TranslationCache().stats().to_dict()["disk_rejects"] == 0

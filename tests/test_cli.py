@@ -151,3 +151,69 @@ class TestErrors:
         path = tmp_path / "m.c"
         path.write_text("int main() { return 5; }")
         assert main(["run", str(path)]) == 5
+
+
+class TestServe:
+    SPINNER = "int main() { while (1) ; return 0; }"
+
+    def _write_requests(self, tmp_path, specs):
+        path = tmp_path / "reqs.json"
+        path.write_text(json.dumps(specs))
+        return path
+
+    def test_serve_batch_from_source(self, tmp_path, capsys):
+        reqs = self._write_requests(tmp_path, [
+            {"source": HELLO, "id": "hello", "repeat": 3},
+        ])
+        code = main(["serve", "--requests", str(reqs),
+                     "--arch", "mips", "--workers", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "hello#0" in captured.out and "hello#2" in captured.out
+        assert "3 requests" in captured.out and "3 ok" in captured.out
+
+    def test_serve_batch_from_path(self, src, tmp_path, capsys):
+        reqs = self._write_requests(tmp_path, [
+            {"path": str(src), "id": "file"},
+        ])
+        assert main(["serve", "--requests", str(reqs)]) == 0
+        assert "file" in capsys.readouterr().out
+
+    def test_serve_json_summary(self, tmp_path, capsys):
+        reqs = self._write_requests(tmp_path, [
+            {"source": HELLO, "id": "a"},
+            {"source": HELLO, "id": "b", "arch": "x86"},
+        ])
+        code = main(["serve", "--requests", str(reqs), "--json"])
+        summary = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert summary["requests"] == 2 and summary["ok"] == 2
+        assert summary["errors"] == 0
+        assert summary["service"]["counters"]["ok"] == 2
+        by_id = {r["request_id"]: r for r in summary["responses"]}
+        assert by_id["a"]["arch"] == "omnivm"
+        assert by_id["b"]["arch"] == "x86"
+
+    def test_serve_deadline_makes_exit_nonzero(self, tmp_path, capsys):
+        reqs = self._write_requests(tmp_path, [
+            {"source": HELLO, "id": "fine"},
+            {"source": self.SPINNER, "id": "spin",
+             "deadline_seconds": 0.1, "fuel": 1000000000},
+        ])
+        code = main(["serve", "--requests", str(reqs),
+                     "--arch", "mips", "--workers", "2"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "DeadlineExceeded" in captured.out
+        assert "1 errors" in captured.out
+
+    def test_serve_rejects_non_array(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(json.dumps({"source": HELLO}))
+        assert main(["serve", "--requests", str(reqs)]) == 2
+        assert "JSON array" in capsys.readouterr().err
+
+    def test_serve_rejects_spec_without_program(self, tmp_path, capsys):
+        reqs = self._write_requests(tmp_path, [{"id": "empty"}])
+        assert main(["serve", "--requests", str(reqs)]) == 2
+        assert "neither" in capsys.readouterr().err

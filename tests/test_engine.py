@@ -134,6 +134,52 @@ class TestEngineCaching:
         assert engine.stats()["counters"] == {}
 
 
+class TestRunForwardsLoadKnobs:
+    """Engine.run() must forward ``fuel`` / ``segment_size`` /
+    ``verify`` to load() — the regression was a run() signature that
+    silently could not express a bounded or unverified run."""
+
+    LOOP_SRC = """
+    int main() {
+        int i;
+        for (i = 0; i < 1000000; i = i + 1) { }
+        return 0;
+    }
+    """
+
+    def test_fuel_forwarded_to_native_load(self):
+        from repro.errors import FuelExhausted
+
+        with pytest.raises(FuelExhausted):
+            Engine(target="mips").run(self.LOOP_SRC, fuel=10_000)
+
+    def test_fuel_forwarded_to_interpreter_load(self):
+        from repro.errors import FuelExhausted
+
+        with pytest.raises(FuelExhausted):
+            Engine().run(self.LOOP_SRC, fuel=10_000)
+
+    def test_sufficient_fuel_still_completes(self):
+        code, _module = Engine(target="mips").run(SRC, fuel=10_000_000)
+        assert code == 0
+
+    def test_segment_size_forwarded(self):
+        code, module = Engine(target="mips").run(SRC,
+                                                 segment_size=1 << 16)
+        assert code == 0
+        heap = next(segment for segment in module.machine.memory.segments
+                    if segment.name == "heap")
+        assert heap.size == 1 << 16
+
+    def test_verify_false_skips_verification(self):
+        engine = Engine(target="mips", cache=False)
+        engine.run(SRC)
+        assert engine.metrics.stage_calls["verify.module"] == 1
+        engine.reset_stats()
+        engine.run(SRC, verify=False)
+        assert "verify.module" not in engine.metrics.stage_calls
+
+
 class TestUnknownArchitecture:
     @pytest.fixture
     def program(self):

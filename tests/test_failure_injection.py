@@ -115,3 +115,76 @@ class TestHostileModules:
         program = link([obj])
         with pytest.raises((LinkError, VerifyError)):
             load_for_interpretation(program).run()
+
+
+class TestServiceFaultInjection:
+    """The deterministic fault hooks the module-hosting service exposes
+    (repro.service.FaultInjector) and how the host degrades under them."""
+
+    SRC = "int main() { emit_int(7); return 0; }"
+
+    def test_injected_faults_fire_in_arming_order_then_disarm(self):
+        from repro.errors import TransientFault
+        from repro.service import FaultInjector
+
+        faults = FaultInjector()
+        faults.fail_translations(count=2)
+        for _ in range(2):
+            with pytest.raises(TransientFault):
+                faults.on_translate("mips")
+        faults.on_translate("mips")  # disarmed: no raise
+        assert faults.fired == 2
+
+    def test_arch_filter_only_hits_that_target(self):
+        from repro.errors import TransientFault
+        from repro.service import FaultInjector
+
+        faults = FaultInjector()
+        faults.fail_translations(count=-1, arch="sparc")
+        faults.on_translate("mips")  # unaffected
+        with pytest.raises(TransientFault):
+            faults.on_translate("sparc")
+        faults.reset()
+        faults.on_translate("sparc")  # reset disarms permanent faults
+
+    def test_non_transient_fault_is_a_translator_crash(self):
+        from repro.errors import TranslationError
+        from repro.service import FaultInjector
+
+        faults = FaultInjector()
+        faults.fail_translations(count=1, transient=False)
+        with pytest.raises(TranslationError):
+            faults.on_translate("mips")
+
+    def test_corrupted_disk_cache_self_heals_under_service(self, tmp_path):
+        from repro.cache import TranslationCache
+        from repro.engine import Engine
+        from repro.service import FaultInjector, ModuleRequest
+
+        cache = TranslationCache(disk_dir=tmp_path)
+        engine = Engine(target="mips", cache=cache)
+        program = engine.compile(self.SRC)
+        with engine.serve(workers=2) as host:
+            assert host.run(ModuleRequest(program=program)).ok
+        assert FaultInjector().corrupt_disk_entries(cache) >= 1
+
+        # A restarted host (fresh LRU, same disk) must reject the
+        # corrupted entry, re-translate, and still serve the request.
+        fresh_cache = TranslationCache(disk_dir=tmp_path)
+        fresh_engine = Engine(target="mips", cache=fresh_cache)
+        with fresh_engine.serve(workers=2) as fresh_host:
+            response = fresh_host.run(ModuleRequest(program=program))
+        assert response.ok and response.output == "7"
+        assert not response.fallback  # healed by re-translation, not
+        assert fresh_cache.stats().disk_rejects >= 1  # degradation
+
+    def test_injected_slowness_trips_the_deadline(self):
+        from repro.engine import Engine
+        from repro.service import FaultInjector, ModuleRequest
+
+        faults = FaultInjector()
+        faults.delay_execution(0.3)
+        with Engine(target="mips").serve(workers=1, faults=faults) as host:
+            response = host.run(ModuleRequest(program=self.SRC,
+                                              deadline_seconds=0.05))
+        assert response.error == "DeadlineExceeded"

@@ -1,0 +1,457 @@
+"""The concurrent module-hosting service (`repro.service`).
+
+Covers the worker pool, deadlines, quotas, retry with backoff,
+interpreter fallback, queue overflow, the thread-safety of the shared
+translation cache, and the throughput-benchmark artifact contract.
+All tests here are fast and deterministic (tier-1)."""
+
+import importlib.util
+import threading
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import metrics
+from repro.cache import TranslationCache
+from repro.compiler import compile_and_link
+from repro.engine import Engine
+from repro.errors import ServiceOverloaded
+from repro.native.profiles import MOBILE_SFI
+from repro.service import (
+    CappedHost,
+    FaultInjector,
+    ModuleHost,
+    ModuleRequest,
+    ModuleResponse,
+    RequestQuota,
+    RetryPolicy,
+    ServiceStats,
+)
+from repro.translators import translate
+
+BENCH_PATH = (Path(__file__).resolve().parents[1] / "benchmarks"
+              / "bench_service_throughput.py")
+
+SRC = "int main() { emit_int(42); return 0; }"
+SPINNER_SRC = """
+int main() {
+    int i;
+    i = 0;
+    while (1) { i = i + 1; }
+    return i;
+}
+"""
+EMITTER_SRC = """
+int main() {
+    int i;
+    for (i = 0; i < 50; i = i + 1) { emit_int(i); }
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_and_link([SRC])
+
+
+@pytest.fixture(scope="module")
+def spinner():
+    return compile_and_link([SPINNER_SRC])
+
+
+class TestBasics:
+    def test_run_one_request(self, program):
+        with Engine(target="mips").serve(workers=2) as host:
+            response = host.run(ModuleRequest(program=program))
+        assert response.ok and response.exit_code == 0
+        assert response.output == "42"
+        assert response.arch == "mips" and not response.fallback
+
+    def test_source_text_is_compiled(self):
+        with Engine().serve(workers=1) as host:
+            response = host.run(ModuleRequest(program=SRC))
+        assert response.ok and response.output == "42"
+        assert response.arch == "omnivm"
+
+    def test_request_ids_are_assigned(self, program):
+        with Engine().serve(workers=1) as host:
+            first = host.run(ModuleRequest(program=program))
+            named = host.run(ModuleRequest(program=program,
+                                           request_id="mine"))
+        assert first.request_id.startswith("req-")
+        assert named.request_id == "mine"
+
+    def test_engine_serve_entry_point(self):
+        host = Engine().serve(workers=3)
+        assert isinstance(host, ModuleHost) and host.workers == 3
+        host.stop()  # never started: no-op
+
+    def test_exported_at_top_level(self):
+        for name in ("ModuleHost", "ModuleRequest", "ModuleResponse",
+                     "RequestQuota", "RetryPolicy", "FaultInjector",
+                     "DeadlineExceeded", "QuotaExceeded",
+                     "ServiceOverloaded"):
+            assert hasattr(repro, name), name
+
+    def test_response_to_dict_round_trips(self, program):
+        with Engine().serve(workers=1) as host:
+            payload = host.run(ModuleRequest(program=program)).to_dict()
+        assert payload["ok"] is True and payload["exit_code"] == 0
+        assert isinstance(payload["latency_seconds"], float)
+
+
+class TestConcurrency:
+    def test_many_concurrent_requests(self, program):
+        with Engine(target="mips").serve(workers=8, queue_depth=16) as host:
+            responses = host.run_batch(
+                [ModuleRequest(program=program) for _ in range(12)])
+        assert len(responses) == 12
+        assert all(r.ok and r.output == "42" for r in responses)
+        counters = host.stats.counters
+        assert counters["request"] == 12 and counters["ok"] == 12
+        assert counters.get("error", 0) == 0
+
+    def test_submitting_threads_share_one_host(self, program):
+        host = Engine(target="x86").serve(workers=4)
+        results: list[ModuleResponse] = []
+        lock = threading.Lock()
+
+        def client():
+            response = host.run(ModuleRequest(program=program))
+            with lock:
+                results.append(response)
+
+        threads = [threading.Thread(target=client) for _ in range(10)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        host.stop()
+        assert len(results) == 10 and all(r.ok for r in results)
+        assert host.stats.counters["ok"] == 10
+
+    def test_latency_percentiles_and_queue_depth(self, program):
+        with Engine().serve(workers=2, queue_depth=8) as host:
+            host.run_batch([ModuleRequest(program=program)
+                            for _ in range(6)])
+        pct = host.stats.latency_percentiles()
+        assert 0 < pct["p50"] <= pct["p90"] <= pct["p99"]
+        payload = host.stats.to_dict()
+        assert payload["completed_requests"] == 6
+        assert payload["queue_high_water"] >= 0
+
+
+class TestDeadlines:
+    def test_runaway_module_times_out(self, spinner):
+        with Engine(target="mips").serve(workers=2) as host:
+            response = host.run(ModuleRequest(
+                program=spinner, deadline_seconds=0.1,
+                quota=RequestQuota(fuel=10 ** 9)))
+        assert not response.ok
+        assert response.error == "DeadlineExceeded"
+        assert host.stats.counters["timeout"] == 1
+
+    def test_runaway_does_not_stall_other_requests(self, program, spinner):
+        with Engine(target="mips").serve(workers=4) as host:
+            requests = [ModuleRequest(program=program) for _ in range(6)]
+            requests.insert(0, ModuleRequest(
+                program=spinner, request_id="runaway",
+                deadline_seconds=0.15, quota=RequestQuota(fuel=10 ** 9)))
+            responses = host.run_batch(requests)
+        by_id = {r.request_id: r for r in responses}
+        assert by_id["runaway"].error == "DeadlineExceeded"
+        others = [r for r in responses if r.request_id != "runaway"]
+        assert len(others) == 6 and all(r.ok for r in others)
+
+    def test_default_deadline_applies(self, spinner):
+        with Engine(target="mips").serve(
+                workers=1, default_deadline=0.1) as host:
+            response = host.run(ModuleRequest(
+                program=spinner, quota=RequestQuota(fuel=10 ** 9)))
+        assert response.error == "DeadlineExceeded"
+
+    def test_fuel_quota_is_not_misreported_as_deadline(self, spinner):
+        with Engine(target="mips").serve(workers=1) as host:
+            response = host.run(ModuleRequest(
+                program=spinner, deadline_seconds=30.0,
+                quota=RequestQuota(fuel=20_000)))
+        assert response.error == "FuelExhausted"
+        assert host.stats.counters.get("timeout", 0) == 0
+
+
+class TestQuotas:
+    def test_output_byte_cap(self):
+        with Engine().serve(workers=1) as host:
+            response = host.run(ModuleRequest(
+                program=EMITTER_SRC,
+                quota=RequestQuota(max_output_bytes=16)))
+        assert not response.ok
+        assert response.error == "QuotaExceeded"
+        assert host.stats.counters["quota_exceeded"] == 1
+
+    def test_entry_byte_accounting(self):
+        from repro.service import _entry_bytes
+
+        assert _entry_bytes("int", 7) == 4
+        assert _entry_bytes("uint", 7) == 4
+        assert _entry_bytes("char", 65) == 1
+        assert _entry_bytes("double", 1.5) == 8
+        assert _entry_bytes("str", "hello") == 5
+
+    def test_capped_host_accounts_during_execution(self):
+        engine = Engine()
+        program = engine.compile(EMITTER_SRC)  # 50 ints -> 200 bytes
+        host = CappedHost(max_output_bytes=None)
+        module = engine.load(program, host=host)
+        module.run()
+        assert host.output_bytes == 200
+
+    def test_segment_size_quota_flows_through(self, program):
+        with Engine(target="mips").serve(workers=1) as host:
+            response = host.run(ModuleRequest(
+                program=program,
+                quota=RequestQuota(segment_size=1 << 16)))
+        assert response.ok and response.output == "42"
+
+
+class TestRetryAndFallback:
+    def test_retry_then_succeed(self, program):
+        faults = FaultInjector()
+        faults.fail_translations(count=2)
+        with Engine(target="mips").serve(
+                workers=1, faults=faults,
+                retry=RetryPolicy(max_attempts=4,
+                                  backoff_seconds=0.001)) as host:
+            response = host.run(ModuleRequest(program=program))
+        assert response.ok and not response.fallback
+        assert response.retries == 2
+        assert host.stats.counters["retry"] == 2
+        assert faults.fired == 2
+
+    def test_exhausted_retries_fall_back_to_interpreter(self, program):
+        faults = FaultInjector()
+        faults.fail_translations(count=-1)
+        with Engine(target="mips").serve(
+                workers=1, faults=faults,
+                retry=RetryPolicy(max_attempts=3,
+                                  backoff_seconds=0.001)) as host:
+            response = host.run(ModuleRequest(program=program))
+        assert response.ok and response.fallback
+        assert response.arch == "omnivm" and response.output == "42"
+        assert response.retries == 3
+        assert host.stats.counters["fallback"] == 1
+
+    def test_translator_crash_skips_retries(self, program):
+        faults = FaultInjector()
+        faults.fail_translations(count=-1, transient=False)
+        with Engine(target="mips").serve(workers=1, faults=faults) as host:
+            response = host.run(ModuleRequest(program=program))
+        assert response.ok and response.fallback
+        assert response.retries == 0
+        assert host.stats.counters.get("retry", 0) == 0
+
+    def test_arch_specific_fault_spares_other_targets(self, program):
+        faults = FaultInjector()
+        faults.fail_translations(count=-1, arch="sparc")
+        with Engine().serve(workers=2, faults=faults) as host:
+            good = host.run(ModuleRequest(program=program, target="mips"))
+            degraded = host.run(ModuleRequest(program=program,
+                                              target="sparc"))
+        assert good.ok and not good.fallback and good.arch == "mips"
+        assert degraded.ok and degraded.fallback
+
+    def test_backoff_schedule_is_exponential_and_capped(self):
+        policy = RetryPolicy(backoff_seconds=0.01, backoff_factor=2.0,
+                             max_backoff_seconds=0.03)
+        assert policy.delay(1) == pytest.approx(0.01)
+        assert policy.delay(2) == pytest.approx(0.02)
+        assert policy.delay(3) == pytest.approx(0.03)  # capped
+        assert policy.delay(10) == pytest.approx(0.03)
+
+    def test_unknown_arch_degrades_gracefully(self, program):
+        with Engine().serve(workers=1) as host:
+            response = host.run(ModuleRequest(program=program,
+                                              target="vax"))
+        assert response.ok and response.fallback
+        assert response.arch == "omnivm"
+
+
+class TestOverloadAndErrors:
+    def test_full_queue_rejects_nonblocking_submit(self, program):
+        faults = FaultInjector()
+        faults.delay_execution(0.2)
+        with Engine().serve(workers=1, queue_depth=1,
+                            faults=faults) as host:
+            pendings = []
+            with pytest.raises(ServiceOverloaded):
+                for _ in range(8):  # worker + queue can absorb at most 2
+                    pendings.append(
+                        host.submit(ModuleRequest(program=program)))
+            assert host.stats.counters["rejected"] >= 1
+            for pending in pendings:
+                assert pending.result(timeout=10.0).ok
+
+    def test_module_trap_is_a_typed_error_response(self):
+        trap_src = "int main() { int z; z = 0; return 1 / z; }"
+        with Engine(target="mips").serve(workers=1) as host:
+            response = host.run(ModuleRequest(program=trap_src))
+        assert not response.ok
+        assert response.error == "VMRuntimeError"
+        assert host.stats.counters["error"] == 1
+
+    def test_compile_error_is_a_typed_error_response(self):
+        with Engine().serve(workers=1) as host:
+            response = host.run(ModuleRequest(program="int main( {"))
+        assert not response.ok
+        assert response.error and "Error" in response.error
+
+    def test_worker_pool_survives_errors(self, program):
+        with Engine().serve(workers=1) as host:
+            bad = host.run(ModuleRequest(program="int main( {"))
+            good = host.run(ModuleRequest(program=program))
+        assert not bad.ok and good.ok
+
+
+class TestServiceMetrics:
+    def test_counters_mirrored_into_engine_metrics(self, program):
+        engine = Engine(target="mips")
+        with engine.serve(workers=2) as host:
+            host.run_batch([ModuleRequest(program=program)
+                            for _ in range(3)])
+        counters = engine.stats()["counters"]
+        assert counters["service.request"] == 3
+        assert counters["service.ok"] == 3
+
+    def test_counters_visible_to_ambient_collector(self, program):
+        collector = metrics.MetricsCollector()
+        with metrics.collect(collector):
+            with Engine().serve(workers=1) as host:
+                host.run(ModuleRequest(program=program))
+        assert collector.counters["service.request"] == 1
+
+    def test_stats_counting_is_thread_safe(self):
+        stats = ServiceStats()
+
+        def hammer():
+            for _ in range(1000):
+                stats.count("request")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.counters["request"] == 8000
+
+
+class TestSharedCacheConcurrency:
+    """N threads hammering one TranslationCache: no lost entries, no
+    torn counters, no crashes."""
+
+    def test_hammer_get_put_invalidate(self):
+        sources = [f"int main() {{ emit_int({n}); return 0; }}"
+                   for n in range(4)]
+        programs = [compile_and_link([src]) for src in sources]
+        translations = [translate(p, "mips", MOBILE_SFI) for p in programs]
+        cache = TranslationCache(capacity=3)  # force evictions too
+        rounds = 60
+        errors = []
+
+        def worker(index: int):
+            try:
+                for round_ in range(rounds):
+                    program = programs[(index + round_) % len(programs)]
+                    translated = translations[(index + round_)
+                                              % len(translations)]
+                    cache.put(program, "mips", MOBILE_SFI, translated)
+                    cache.get(program, "mips", MOBILE_SFI)
+                    if round_ % 10 == 9:
+                        cache.invalidate(program=program)
+            except Exception as err:  # pragma: no cover
+                errors.append(err)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats.stores == 8 * rounds
+        assert stats.hits + stats.misses == 8 * rounds
+        assert len(cache) <= 3
+
+    def test_disk_backed_hammer_leaves_no_temp_files(self, tmp_path):
+        program = compile_and_link([SRC])
+        translated = translate(program, "mips", MOBILE_SFI)
+        cache = TranslationCache(capacity=2, disk_dir=tmp_path)
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(40):
+                    cache.put(program, "mips", MOBILE_SFI, translated)
+                    assert cache.get(program, "mips", MOBILE_SFI) \
+                        is not None
+            except Exception as err:  # pragma: no cover
+                errors.append(err)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert not list(tmp_path.glob("*.tmp"))
+        fresh = TranslationCache(disk_dir=tmp_path)
+        assert fresh.get(program, "mips", MOBILE_SFI) is not None
+
+    def test_engine_cache_shared_across_service_workers(self, program):
+        engine = Engine(target="mips")
+        with engine.serve(workers=6) as host:
+            host.run_batch([ModuleRequest(program=program)
+                            for _ in range(10)])
+        stats = engine.cache.stats()
+        # every request either translated-and-stored or hit the shared
+        # cache; nothing was lost
+        assert stats.hits + stats.misses == 10
+        assert stats.misses == stats.stores
+        assert stats.hits >= 1
+
+
+class TestBenchmarkSmoke:
+    """Tier-1 guard on the BENCH_service_throughput.json contract."""
+
+    @pytest.fixture(scope="class")
+    def bench(self):
+        spec = importlib.util.spec_from_file_location(
+            "bench_service_throughput", BENCH_PATH)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    @pytest.fixture(scope="class")
+    def payload(self, bench):
+        program = compile_and_link([SRC])
+        return bench.collect_benchmark(
+            program=program, worker_counts=(2, 8),
+            requests_per_batch=4, governance_requests=8)
+
+    def test_payload_validates(self, bench, payload):
+        bench.validate_artifact(payload)
+        assert payload["schema_version"] == bench.SCHEMA_VERSION
+
+    def test_sustains_eight_concurrent_requests(self, payload):
+        assert payload["results"][-1]["workers"] >= 8
+        governance = payload["governance"]
+        assert governance["concurrent_requests"] >= 8
+        assert governance["timeouts"] >= 1
+        assert governance["fallbacks"] >= 1
+
+    def test_every_result_entry_complete(self, bench, payload):
+        for entry in payload["results"]:
+            assert not (bench.RESULT_KEYS - entry.keys())
+            assert entry["ok"] == 2 * payload["requests_per_batch"]
