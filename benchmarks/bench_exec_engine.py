@@ -1,0 +1,190 @@
+"""Execution-engine benchmark: legacy dispatch vs. threaded code.
+
+Measures dynamic-instruction throughput of both execution loops — the
+legacy per-instruction dispatcher and the predecoded threaded-code
+engine (:mod:`repro.omnivm.threaded` / :mod:`repro.targets.threaded`) —
+for every executor (the reference interpreter plus the four target
+simulators) on the four SPEC-derived workloads, and emits the
+``BENCH_exec_engine.json`` artifact at the repository root.
+
+Both engines must retire the *same* dynamic instruction count and
+produce the same output (asserted per run), so the comparison is pure
+dispatch overhead: predecoded closures, superinstruction fusion, and
+block-level fuel accounting versus the big-switch loops.
+
+The artifact schema is guarded by :func:`validate_artifact`, which the
+tier-1 suite invokes (``tests/test_threaded_engine.py``) so the JSON
+contract cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from pathlib import Path
+
+from repro.runtime.loader import load_for_interpretation
+from repro.runtime.native_loader import load_for_target
+from repro.translators import ARCHITECTURES
+from repro.workloads import suite
+
+ARTIFACT_PATH = Path(__file__).resolve().parents[1] / (
+    "BENCH_exec_engine.json"
+)
+
+SCHEMA_VERSION = 1
+
+#: The interpreter plus the four target simulators.
+EXECUTORS = ("omnivm",) + ARCHITECTURES
+
+#: keys every per-run entry must carry (the artifact contract)
+RESULT_KEYS = frozenset(
+    ("workload", "executor", "legacy_seconds", "threaded_seconds",
+     "legacy_instret", "threaded_instret", "legacy_ips", "threaded_ips",
+     "speedup")
+)
+
+#: Acceptance bars from the issue: threaded must beat legacy by at
+#: least this factor, per executor (geometric mean over workloads).
+MIN_SPEEDUP = {"omnivm": 2.0, "mips": 1.5, "ppc": 1.5, "sparc": 1.5,
+               "x86": 1.5}
+
+
+def _measure(program, name: str, executor: str, engine: str,
+             repeats: int) -> tuple[float, int]:
+    best = None
+    instret = None
+    for _ in range(repeats):
+        if executor == "omnivm":
+            module = load_for_interpretation(program, engine=engine)
+        else:
+            module = load_for_target(program, executor, engine=engine)
+        gc.collect()
+        start = time.perf_counter()
+        module.run()
+        elapsed = time.perf_counter() - start
+        if not suite.check_output(name, module.host.output_values()):
+            raise AssertionError(
+                f"{executor}/{name}/{engine}: wrong workload output")
+        retired = (module.vm.state.instret if executor == "omnivm"
+                   else module.machine.instret)
+        if instret is None:
+            instret = retired
+        elif instret != retired:
+            raise AssertionError(
+                f"{executor}/{name}/{engine}: instret varies across runs")
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, instret
+
+
+def collect_benchmark(
+    workloads: tuple[str, ...] = suite.WORKLOAD_NAMES,
+    executors: tuple[str, ...] = EXECUTORS,
+    repeats: int = 1,
+) -> dict:
+    """Measure legacy vs. threaded execution for every (executor,
+    workload) pair.  Returns the artifact payload (does not write it).
+
+    Each run checks the workload's expected output, and the two engines
+    must agree on retired dynamic instructions — the threaded engine's
+    block-level accounting changes *when* fuel is checked, never the
+    retired count of a completed run.
+    """
+    results = []
+    for executor in executors:
+        for name in workloads:
+            program = suite.build(name)
+            legacy_s, legacy_i = _measure(
+                program, name, executor, "legacy", repeats)
+            threaded_s, threaded_i = _measure(
+                program, name, executor, "threaded", repeats)
+            if legacy_i != threaded_i:
+                raise AssertionError(
+                    f"{executor}/{name}: instret diverged "
+                    f"({legacy_i} legacy vs {threaded_i} threaded)")
+            results.append({
+                "workload": name,
+                "executor": executor,
+                "legacy_seconds": legacy_s,
+                "threaded_seconds": threaded_s,
+                "legacy_instret": legacy_i,
+                "threaded_instret": threaded_i,
+                "legacy_ips": legacy_i / legacy_s,
+                "threaded_ips": threaded_i / threaded_s,
+                "speedup": legacy_s / threaded_s,
+            })
+    summary = {}
+    for executor in executors:
+        speedups = [r["speedup"] for r in results
+                    if r["executor"] == executor]
+        product = 1.0
+        for value in speedups:
+            product *= value
+        summary[executor] = product ** (1.0 / len(speedups))
+    return {
+        "benchmark": "exec_engine",
+        "schema_version": SCHEMA_VERSION,
+        "workloads": list(workloads),
+        "repeats": repeats,
+        "results": results,
+        "geomean_speedup": summary,
+    }
+
+
+def validate_artifact(payload: dict) -> None:
+    """Raise AssertionError unless *payload* matches the artifact
+    contract consumed by the benchmark trajectory."""
+    assert payload.get("benchmark") == "exec_engine", "bad benchmark id"
+    assert payload.get("schema_version") == SCHEMA_VERSION, "schema drift"
+    assert isinstance(payload.get("workloads"), list) and payload["workloads"]
+    assert isinstance(payload.get("repeats"), int)
+    results = payload.get("results")
+    assert isinstance(results, list) and results, "no results"
+    executors = set()
+    for entry in results:
+        missing = RESULT_KEYS - entry.keys()
+        assert not missing, f"result entry missing keys: {sorted(missing)}"
+        assert entry["executor"] in EXECUTORS
+        assert entry["workload"] in payload["workloads"]
+        assert entry["legacy_seconds"] > 0 and entry["threaded_seconds"] > 0
+        assert entry["legacy_instret"] == entry["threaded_instret"], (
+            "engines disagree on retired instructions")
+        assert entry["legacy_instret"] > 0
+        executors.add(entry["executor"])
+    summary = payload.get("geomean_speedup")
+    assert isinstance(summary, dict) and set(summary) == executors
+    for executor, value in summary.items():
+        assert value > 0
+
+
+def write_artifact(payload: dict, path: Path = ARTIFACT_PATH) -> Path:
+    validate_artifact(payload)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def bench_exec_engine(save_result):
+    """Full-size run (all executors, all workloads) emitting the JSON
+    artifact and enforcing the speedup acceptance bars."""
+    payload = collect_benchmark(repeats=3)
+    path = write_artifact(payload)
+    lines = ["execution engine: legacy dispatch vs threaded code "
+             "(dynamic instructions / second)"]
+    for entry in payload["results"]:
+        lines.append(
+            f"  {entry['executor']:<6} {entry['workload']:<9}"
+            f" legacy {entry['legacy_ips'] / 1e3:8.1f}k ips"
+            f"   threaded {entry['threaded_ips'] / 1e3:8.1f}k ips"
+            f"   speedup {entry['speedup']:5.2f}x"
+        )
+    for executor, geomean in payload["geomean_speedup"].items():
+        bar = MIN_SPEEDUP[executor]
+        lines.append(f"  {executor:<6} geomean {geomean:5.2f}x"
+                     f"  (bar {bar:.1f}x)")
+        assert geomean >= bar, (
+            f"{executor}: threaded engine {geomean:.2f}x below the "
+            f"{bar:.1f}x acceptance bar")
+    save_result("exec_engine", "\n".join(lines))
+    print(f"\nartifact: {path}")

@@ -112,6 +112,10 @@ class CacheStats:
     #: disk entries rejected as unreadable, stale-format, or failing the
     #: integrity digest (each read as a miss, never executed)
     disk_rejects: int = 0
+    #: predecode side-table traffic (threaded-engine artifacts; memory
+    #: only, never persisted — closures do not serialize)
+    predecode_hits: int = 0
+    predecode_misses: int = 0
 
     def to_dict(self) -> dict[str, int]:
         return {
@@ -122,6 +126,8 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "invalidations": self.invalidations,
             "disk_rejects": self.disk_rejects,
+            "predecode_hits": self.predecode_hits,
+            "predecode_misses": self.predecode_misses,
         }
 
 
@@ -147,6 +153,13 @@ class TranslationCache:
         self._entries: OrderedDict[tuple[str, str, str], TranslatedModule] = (
             OrderedDict()
         )
+        # Predecoded threaded-engine artifacts (repro.omnivm.threaded /
+        # repro.targets.threaded).  Held beside the translation LRU, same
+        # capacity bound, but memory-only: the artifacts are closure
+        # tables and cannot be persisted.  Keys are tagged tuples whose
+        # second element is the program digest (see loaders), so
+        # invalidation can match them.
+        self._predecoded: OrderedDict[tuple, object] = OrderedDict()
         self._stats = CacheStats()
         self._lock = threading.RLock()
 
@@ -201,6 +214,36 @@ class TranslationCache:
             self._stats.evictions += 1
             metrics.count("cache.eviction")
 
+    # -- predecode side table -------------------------------------------------
+
+    def get_predecoded(self, key: tuple) -> object | None:
+        """Return the cached threaded-engine artifact for *key*, or None.
+
+        Keys are tagged tuples built by the loaders:
+        ``("predecode-omni", program_digest)`` for interpreter programs
+        and ``("predecode-native", program_digest, arch, options_digest)``
+        for translated modules.
+        """
+        with self._lock:
+            artifact = self._predecoded.get(key)
+            if artifact is not None:
+                self._predecoded.move_to_end(key)
+                self._stats.predecode_hits += 1
+                metrics.count("cache.predecode_hit")
+                return artifact
+            self._stats.predecode_misses += 1
+            metrics.count("cache.predecode_miss")
+            return None
+
+    def put_predecoded(self, key: tuple, artifact: object) -> None:
+        """Insert a threaded-engine artifact (memory only; its eviction
+        is silent — translation ``stats().evictions`` stays untouched)."""
+        with self._lock:
+            self._predecoded[key] = artifact
+            self._predecoded.move_to_end(key)
+            while len(self._predecoded) > self.capacity:
+                self._predecoded.popitem(last=False)
+
     # -- invalidation ---------------------------------------------------------
 
     def invalidate(self, program: LinkedProgram | None = None,
@@ -223,6 +266,15 @@ class TranslationCache:
             for key in doomed:
                 del self._entries[key]
                 self._disk_remove(key)
+            # Predecoded artifacts derive from the same translation
+            # inputs, so they go with it (key[1] is the program digest,
+            # key[2] — when present — the arch).
+            for key in [
+                k for k in self._predecoded
+                if (digest is None or k[1] == digest)
+                and (arch is None or len(k) < 3 or k[2] == arch)
+            ]:
+                del self._predecoded[key]
             self._stats.invalidations += len(doomed)
             self._stats.invalidations += self._disk_invalidate(digest, arch)
             return len(doomed)

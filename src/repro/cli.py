@@ -120,13 +120,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     with metrics.collect(collector):
         program = _program_from_path(args.module, args.opt)
         if args.arch == "omnivm":
-            code, host = run_module(program)
+            code, host = run_module(program, engine=args.engine)
             sys.stdout.write(host.output_text())
             if args.cycles:
                 print(f"\n[omnivm] exit={code}", file=sys.stderr)
         else:
             options = TranslationOptions(sfi=not args.no_sfi)
-            code, module = run_on_target(program, args.arch, options)
+            code, module = run_on_target(program, args.arch, options,
+                                         engine=args.engine)
             sys.stdout.write(module.host.output_text())
             if args.cycles:
                 machine = module.machine
@@ -400,6 +401,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arch", default="omnivm",
                    choices=("omnivm",) + tuple(ARCHITECTURES))
     p.add_argument("--no-sfi", action="store_true")
+    p.add_argument("--engine", default="threaded",
+                   choices=("threaded", "legacy"),
+                   help="execution loop: predecoded threaded-code engine "
+                        "(default) or the legacy per-instruction loop")
     p.add_argument("--cycles", action="store_true",
                    help="print execution statistics to stderr")
     p.add_argument("--stats", action="store_true",

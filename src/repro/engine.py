@@ -77,6 +77,11 @@ class Engine:
         When True (default) the engine owns a
         :class:`~repro.metrics.MetricsCollector` active during every
         engine operation; see :meth:`stats`.
+    execution_engine:
+        Default execution loop: ``"threaded"`` (predecoded threaded-code
+        engine with block-level fuel accounting — the default) or
+        ``"legacy"`` (per-instruction dispatch).  :meth:`load` and
+        :meth:`run` accept a per-call ``engine`` override.
     """
 
     def __init__(
@@ -86,7 +91,12 @@ class Engine:
         cache: "TranslationCache | None | bool" = None,
         compile_options: CompileOptions | None = None,
         collect_metrics: bool = True,
+        execution_engine: str = "threaded",
     ):
+        from repro.runtime.loader import _check_engine
+
+        _check_engine(execution_engine)
+        self.execution_engine = execution_engine
         self.target = target
         if isinstance(profile, str):
             profile = PROFILES[profile]
@@ -176,6 +186,7 @@ class Engine:
         verify: bool = True,
         fuel: int | None = None,
         segment_size: int | None = None,
+        engine: str | None = None,
     ) -> LoadedModule | NativeModule:
         """Verify and load *program* for execution: a
         :class:`NativeModule` for a translated target, a
@@ -183,7 +194,9 @@ class Engine:
 
         ``fuel`` bounds dynamic instructions (loader defaults apply when
         None); ``segment_size`` shrinks the module address space (used
-        by the differential tester to keep memory digests cheap).
+        by the differential tester to keep memory digests cheap);
+        ``engine`` overrides the engine-wide execution loop
+        (``"threaded"``/``"legacy"``) for this load.
         """
         arch = self._resolve_target(target)
         extra: dict = {}
@@ -191,10 +204,13 @@ class Engine:
             extra["fuel"] = fuel
         if segment_size is not None:
             extra["segment_size"] = segment_size
+        extra["engine"] = engine if engine is not None \
+            else self.execution_engine
         with self._collecting():
             if arch == INTERPRETER:
                 return load_for_interpretation(
-                    program, host, verify=verify, **extra)
+                    program, host, verify=verify, cache=self.cache,
+                    **extra)
             return load_for_target(
                 program, arch, self._resolve_options(options), host,
                 verify=verify, cache=self.cache, **extra,
@@ -210,19 +226,22 @@ class Engine:
         verify: bool = True,
         fuel: int | None = None,
         segment_size: int | None = None,
+        engine: str | None = None,
     ) -> tuple[int, LoadedModule | NativeModule]:
         """Compile (when given source text), load, and execute; returns
         ``(exit code, loaded module)``.  The module exposes ``.host``
         for the program's emitted output.
 
-        ``verify``, ``fuel``, and ``segment_size`` are forwarded to
-        :meth:`load`, so a bounded (or unverified) run no longer needs
-        to hand-roll the compile/load/run sequence.
+        ``verify``, ``fuel``, ``segment_size``, and ``engine`` are
+        forwarded to :meth:`load`, so a bounded (or unverified, or
+        legacy-loop) run no longer needs to hand-roll the
+        compile/load/run sequence.
         """
         if not isinstance(program, LinkedProgram):
             program = self.compile(program)
         module = self.load(program, target, options, host, verify=verify,
-                           fuel=fuel, segment_size=segment_size)
+                           fuel=fuel, segment_size=segment_size,
+                           engine=engine)
         with self._collecting():
             code = module.run(entry)
         return code, module

@@ -34,8 +34,13 @@ Stage names are dotted paths (``frontend.lex``, ``translate``,
 ``verify.sfi``, ``execute``); counters likewise (``translate.native_instrs``,
 ``execute.sfi.dynamic``, ``cache.hit``, ``cache.disk_reject``, and the
 module-hosting service's ``service.request`` / ``service.fallback`` /
-``service.retry`` / ``service.timeout`` family).  See DESIGN.md
-§"Engine, cache and metrics" for the full vocabulary.
+``service.retry`` / ``service.timeout`` family).  The threaded-code
+execution engines add ``execute.predecode_ms`` (wall milliseconds spent
+predecoding a program into closures), ``execute.blocks`` (basic blocks
+dispatched), ``execute.fused`` (superinstructions executed), and the
+cache's ``cache.predecode_hit`` / ``cache.predecode_miss`` pair for the
+in-memory predecode side table.  See DESIGN.md §"Engine, cache and
+metrics" for the full vocabulary.
 """
 
 from __future__ import annotations

@@ -139,6 +139,10 @@ class OmniVM:
                               state.instret - start_instret)
 
     def _run_loop(self, state, instrs, sentinel) -> int:
+        # Instruction-mix instrumentation is opt-in; the flag is tested
+        # once here so the uncounted path carries no per-step overhead.
+        if self.count_opcodes:
+            return self._run_loop_counting(state, instrs, sentinel)
         while not state.halted:
             if state.pc == sentinel:
                 break
@@ -153,10 +157,29 @@ class OmniVM:
                 raise FuelExhausted(
                     f"exceeded fuel of {self.fuel} instructions"
                 )
-            if self.count_opcodes:
-                self.opcode_counts[instr.op] = (
-                    self.opcode_counts.get(instr.op, 0) + 1
+            try:
+                self.step(instr)
+            except AccessViolation as violation:
+                self._deliver_violation(violation)
+        return s32(state.regs[1]) if not state.halted else state.exit_code
+
+    def _run_loop_counting(self, state, instrs, sentinel) -> int:
+        counts = self.opcode_counts
+        while not state.halted:
+            if state.pc == sentinel:
+                break
+            index = (state.pc - CODE_BASE) // INSTR_SIZE
+            if not (0 <= index < len(instrs)) or (state.pc - CODE_BASE) % INSTR_SIZE:
+                raise AccessViolation(
+                    f"execute at bad address {state.pc:#010x}", state.pc, "execute"
                 )
+            instr = instrs[index]
+            state.instret += 1
+            if state.instret > self.fuel:
+                raise FuelExhausted(
+                    f"exceeded fuel of {self.fuel} instructions"
+                )
+            counts[instr.op] = counts.get(instr.op, 0) + 1
             try:
                 self.step(instr)
             except AccessViolation as violation:

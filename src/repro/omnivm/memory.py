@@ -160,6 +160,35 @@ class Memory:
         )
         self.write_count += 1
 
+    # -- word fast path ------------------------------------------------------
+    #
+    # The predecoded execution engines issue almost all of their traffic as
+    # aligned 32-bit words.  These accessors hit the one-entry segment
+    # cache, check permission and bounds inline, and fall back to the
+    # generic size-dispatching path (which raises the exact same
+    # AccessViolation messages) for anything unusual: a different segment,
+    # a segment-straddling access, or a permission the cached segment
+    # lacks.
+
+    def load_u32(self, address: int) -> int:
+        seg = self._last
+        if (seg is not None and seg.perms & PERM_READ
+                and seg.base <= address and address + 4 <= seg.limit):
+            offset = address - seg.base
+            return int.from_bytes(seg.data[offset:offset + 4], "little")
+        return self.load(address, 4, False)
+
+    def store_u32(self, address: int, value: int) -> None:
+        seg = self._last
+        if (seg is not None and seg.perms & PERM_WRITE
+                and seg.base <= address and address + 4 <= seg.limit):
+            offset = address - seg.base
+            seg.data[offset:offset + 4] = (value & 0xFFFFFFFF).to_bytes(
+                4, "little")
+            self.write_count += 1
+            return
+        self.store(address, 4, value)
+
     def load_f32(self, address: int) -> float:
         return bits_to_f32(self.load(address, 4))
 

@@ -20,6 +20,7 @@ can treat every execution engine identically.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro import metrics
 from repro.omnivm.interp import OmniVM
@@ -28,9 +29,23 @@ from repro.omnivm.memory import (
     Memory,
     standard_module_memory,
 )
+from repro.omnivm.threaded import ThreadedVM, predecode_program
 from repro.omnivm.verifier import verify_program
 from repro.runtime.host import Host, MachineAdapter
 from repro.utils.bits import s32, u32
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache import TranslationCache
+
+#: Execution engines the loaders accept (see ``engine=`` below).
+ENGINES = ("threaded", "legacy")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown execution engine {engine!r}; expected one of {ENGINES}"
+        )
 
 
 class _OmniVMAdapter(MachineAdapter):
@@ -80,8 +95,19 @@ def load_for_interpretation(
     verify: bool = True,
     fuel: int = 200_000_000,
     segment_size: int | None = None,
+    engine: str = "threaded",
+    cache: "TranslationCache | None" = None,
 ) -> LoadedModule:
-    """Load *program* into a fresh address space under the reference VM."""
+    """Load *program* into a fresh address space under the reference VM.
+
+    ``engine`` selects the execution loop: ``"threaded"`` (default) runs
+    the predecoded threaded-code engine of :mod:`repro.omnivm.threaded`
+    (block-level fuel accounting, observably identical results);
+    ``"legacy"`` runs the original per-instruction dispatch loop.  With a
+    ``cache``, the threaded engine's predecode artifact is reused across
+    loads of the same program content.
+    """
+    _check_engine(engine)
     if verify:
         verify_program(program)
     if segment_size is not None:
@@ -94,15 +120,31 @@ def load_for_interpretation(
             program.text_image, bytes(program.data_image)
         )
     host = host or Host()
-    vm = OmniVM(program, memory, fuel=fuel)
+    if engine == "threaded":
+        threaded = None
+        key = None
+        if cache is not None:
+            from repro.cache import program_digest
+
+            key = ("predecode-omni", program_digest(program))
+            threaded = cache.get_predecoded(key)
+        if threaded is None:
+            threaded = predecode_program(program)
+            if cache is not None:
+                cache.put_predecoded(key, threaded)
+        vm: OmniVM = ThreadedVM(program, memory, fuel=fuel,
+                                threaded=threaded)
+    else:
+        vm = OmniVM(program, memory, fuel=fuel)
     adapter = _OmniVMAdapter(vm)
     vm.hostcall = lambda _vm, index: host.hostcall(adapter, index)
     return LoadedModule(program, memory, vm, host)
 
 
 def run_module(program: LinkedProgram, entry: str | None = None,
-               host: Host | None = None) -> tuple[int, Host]:
+               host: Host | None = None,
+               engine: str = "threaded") -> tuple[int, Host]:
     """Convenience: load, run, and return (exit code, host)."""
-    loaded = load_for_interpretation(program, host)
+    loaded = load_for_interpretation(program, host, engine=engine)
     code = loaded.run(entry)
     return code, loaded.host

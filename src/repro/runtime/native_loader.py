@@ -91,6 +91,7 @@ def load_for_target(
     memory: Memory | None = None,
     cache: "TranslationCache | None" = None,
     segment_size: int | None = None,
+    engine: str = "threaded",
 ) -> NativeModule:
     """Translate *program* for *arch* and prepare it for execution.
 
@@ -98,7 +99,17 @@ def load_for_target(
     hit returns the previously verified translation and skips module
     verification, translation, and SFI verification entirely (the cached
     code was verified when it entered the cache).
+
+    ``engine`` selects the simulator loop: ``"threaded"`` (default) runs
+    the predecoded block-dispatch engine of
+    :mod:`repro.targets.threaded` (same cycles, registers, and faults;
+    fuel charged per block); ``"legacy"`` runs the original
+    per-instruction loop.  Threaded predecode artifacts are reused
+    through the cache's in-memory side table.
     """
+    from repro.runtime.loader import _check_engine
+
+    _check_engine(engine)
     translated = cache.get(program, arch, options) if cache is not None \
         else None
     if translated is None:
@@ -128,13 +139,38 @@ def load_for_target(
         # multi-cycle compare latency (the paper singles this out as the
         # PPC cc compiler's main edge); model it as fully hidden.
         translated.spec.timing.cmp_latency = 1
-    machine = TargetMachine(
-        translated.spec,
-        translated.instrs,
-        memory,
-        translated.omni_to_native,
-        fuel=fuel,
-    )
+    if engine == "threaded":
+        from repro.cache import cache_key
+        from repro.targets.threaded import (
+            ThreadedTargetMachine,
+            predecode_native,
+        )
+
+        threaded = None
+        key = None
+        if cache is not None:
+            key = ("predecode-native",) + cache_key(program, arch, options)
+            threaded = cache.get_predecoded(key)
+        if threaded is None:
+            threaded = predecode_native(translated.spec, translated.instrs)
+            if cache is not None:
+                cache.put_predecoded(key, threaded)
+        machine: TargetMachine = ThreadedTargetMachine(
+            translated.spec,
+            translated.instrs,
+            memory,
+            translated.omni_to_native,
+            fuel=fuel,
+            threaded=threaded,
+        )
+    else:
+        machine = TargetMachine(
+            translated.spec,
+            translated.instrs,
+            memory,
+            translated.omni_to_native,
+            fuel=fuel,
+        )
     adapter = _TargetAdapter(machine)
     machine.hostcall = lambda _m, index: host.hostcall(adapter, index)
     initial_register_state(translated.spec, machine)
@@ -147,8 +183,10 @@ def run_on_target(
     options: TranslationOptions | None = None,
     host: Host | None = None,
     cache: "TranslationCache | None" = None,
+    engine: str = "threaded",
 ) -> tuple[int, NativeModule]:
     """Translate, load, run; returns (exit code, loaded module)."""
-    module = load_for_target(program, arch, options, host, cache=cache)
+    module = load_for_target(program, arch, options, host, cache=cache,
+                             engine=engine)
     code = module.run()
     return code, module

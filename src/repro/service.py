@@ -394,9 +394,13 @@ class _Watchdog:
     """Scans active executions and cuts fuel on expired deadlines.
 
     Cutting ``machine.fuel`` below the retired-instruction count makes
-    the existing per-instruction fuel check fire at the next boundary —
-    no new state in the hot simulator loops, and a module that never
-    makes another host call still stops."""
+    the existing fuel check fire at the next check boundary — no new
+    state in the hot simulator loops, and a module that never makes
+    another host call still stops.  Under the legacy engines that
+    boundary is the next instruction; under the threaded engines it is
+    the next basic-block boundary (at most one block of straight-line
+    code late), which is still bounded: blocks cannot span branches, so
+    a runaway loop hits a boundary every iteration."""
 
     def __init__(self, interval: float = 0.002):
         self.interval = interval
