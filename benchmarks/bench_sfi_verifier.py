@@ -1,0 +1,157 @@
+"""SFI-verifier micro-benchmark: CFG verification cost and kill-rate.
+
+Load-time verification is part of the paper's trust story only if it is
+cheap enough to run on every load, and meaningful only if it actually
+stops escapes.  This benchmark measures both halves of that claim:
+
+* **cost** — wall time per native instruction for the CFG/worklist
+  verifier over every target's SFI translation of a real workload,
+  with the recovered graph shape (blocks, edges, joins) alongside;
+* **strength** — the sandbox-escape mutation fuzzer's kill-rate on a
+  fixed seed (the acceptance bar is 100%: every unsafe mutant killed,
+  every behavior-preserving mutant still accepted).
+
+Emits the ``BENCH_sfi_verifier.json`` artifact at the repository root.
+The schema is guarded by :func:`validate_artifact`, which the tier-1
+suite invokes (``tests/test_bench_sfi_verifier.py``) so the JSON
+contract cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from pathlib import Path
+
+from repro.native.profiles import MOBILE_SFI
+from repro.omnivm.linker import LinkedProgram
+from repro.difftest.sfi_mutator import run_sfi_mutation_fuzz
+from repro.sfi.verifier import verify_sfi
+from repro.translators import ARCHITECTURES, translate
+from repro.workloads import suite
+
+ARTIFACT_PATH = Path(__file__).resolve().parents[1] / (
+    "BENCH_sfi_verifier.json"
+)
+
+SCHEMA_VERSION = 1
+
+#: keys every per-arch entry must carry (the artifact contract)
+RESULT_KEYS = frozenset(
+    ("arch", "native_instrs", "verify_seconds", "ns_per_instr",
+     "blocks", "edges", "joins", "stores_checked", "ijumps_checked")
+)
+
+#: keys the fuzz section must carry
+FUZZ_KEYS = frozenset(
+    ("seed", "programs", "mutants", "unsafe_total", "unsafe_killed",
+     "kill_rate", "safe_total", "safe_accepted")
+)
+
+
+def collect_benchmark(
+    program: LinkedProgram | None = None,
+    archs: tuple[str, ...] = ARCHITECTURES,
+    repeats: int = 3,
+    fuzz_programs: int = 8,
+    fuzz_seed: str = "bench-sfi-verifier",
+) -> dict:
+    """Measure verification cost per arch and the fixed-seed kill-rate.
+
+    Returns the artifact payload (does not write it).  Verification is
+    timed over *repeats* runs of the already-translated module, taking
+    the minimum, so the number excludes translation."""
+    if program is None:
+        program = suite.build("li")
+    results = []
+    for arch in archs:
+        module = translate(program, arch, MOBILE_SFI)
+        times = []
+        analysis = None
+        for _ in range(repeats):
+            gc.collect()  # keep collector pauses out of the timed region
+            start = time.perf_counter()
+            analysis = verify_sfi(module)
+            times.append(time.perf_counter() - start)
+        seconds = min(times)
+        instrs = len(module.instrs)
+        results.append({
+            "arch": arch,
+            "native_instrs": instrs,
+            "verify_seconds": seconds,
+            "ns_per_instr": seconds * 1e9 / instrs,
+            "blocks": analysis.blocks,
+            "edges": analysis.edges,
+            "joins": analysis.joins,
+            "stores_checked": analysis.stores_checked,
+            "ijumps_checked": analysis.ijumps_checked,
+        })
+    fuzz = run_sfi_mutation_fuzz(count=fuzz_programs, seed=fuzz_seed,
+                                 targets=archs)
+    return {
+        "benchmark": "sfi_verifier",
+        "schema_version": SCHEMA_VERSION,
+        "program_instrs": len(program.instrs),
+        "repeats": repeats,
+        "results": results,
+        "fuzz": fuzz.to_dict(),
+    }
+
+
+def validate_artifact(payload: dict) -> None:
+    """Raise AssertionError unless *payload* matches the artifact
+    contract consumed by the benchmark trajectory."""
+    assert payload.get("benchmark") == "sfi_verifier", "bad benchmark id"
+    assert payload.get("schema_version") == SCHEMA_VERSION, "schema drift"
+    assert isinstance(payload.get("program_instrs"), int)
+    assert isinstance(payload.get("repeats"), int)
+    results = payload.get("results")
+    assert isinstance(results, list) and results, "no per-arch results"
+    for entry in results:
+        missing = RESULT_KEYS - entry.keys()
+        assert not missing, f"result entry missing keys: {sorted(missing)}"
+        assert entry["arch"] in ARCHITECTURES
+        assert entry["native_instrs"] > 0
+        assert entry["verify_seconds"] > 0
+        assert entry["blocks"] > 0 and entry["edges"] > 0
+        assert entry["stores_checked"] > 0
+    fuzz = payload.get("fuzz")
+    assert isinstance(fuzz, dict), "no fuzz section"
+    missing = FUZZ_KEYS - fuzz.keys()
+    assert not missing, f"fuzz section missing keys: {sorted(missing)}"
+    assert fuzz["mutants"] > 0 and fuzz["unsafe_total"] > 0
+    # The acceptance bar: every unsafe mutant killed, nothing over-tight.
+    assert fuzz["kill_rate"] == 1.0, "sandbox-escape mutant survived"
+    assert fuzz["safe_accepted"] == fuzz["safe_total"], "over-tight verifier"
+
+
+def write_artifact(payload: dict, path: Path = ARTIFACT_PATH) -> Path:
+    validate_artifact(payload)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def bench_sfi_verifier(save_result):
+    """Full-size run (the ``li`` workload) emitting the JSON artifact."""
+    payload = collect_benchmark()
+    path = write_artifact(payload)
+    lines = ["sfi verifier: CFG verification cost and mutation kill-rate"]
+    for entry in payload["results"]:
+        lines.append(
+            f"  {entry['arch']:<6} {entry['native_instrs']:6d} instrs"
+            f"   verify {entry['verify_seconds'] * 1e3:8.2f} ms"
+            f"   ({entry['ns_per_instr']:7.0f} ns/instr,"
+            f" {entry['blocks']} blocks, {entry['edges']} edges,"
+            f" {entry['joins']} joins)"
+        )
+    fuzz = payload["fuzz"]
+    lines.append(
+        f"  mutation fuzz: {fuzz['mutants']} mutants over"
+        f" {fuzz['programs']} programs, kill-rate"
+        f" {fuzz['kill_rate'] * 100:.1f}%"
+        f" ({fuzz['unsafe_killed']}/{fuzz['unsafe_total']} unsafe killed,"
+        f" {fuzz['safe_accepted']}/{fuzz['safe_total']} safe accepted)"
+    )
+    save_result("sfi_verifier", "\n".join(lines))
+    print(f"\nartifact: {path}")

@@ -14,6 +14,7 @@ Usage (also via ``python -m repro``):
     omnicc bench    [--table 1|2|3|4|5|6] [--figure 1]
     omnicc difftest [--count N] [--seed S] [--targets mips,ppc]
                     [--json] [--no-minimize] [--stats]
+                    [--sfi [--mutants N]]
     omnicc serve    --requests reqs.json [--workers N] [--queue-depth N]
                     [--deadline SECONDS] [--json] [--stats]
 
@@ -22,7 +23,10 @@ module; ``run`` executes on the reference VM or a translated target
 (with SFI by default, exactly as a host would); ``bench`` prints a
 reproduced table from the paper; ``difftest`` cross-executes seeded
 random programs on the interpreter and every target simulator and
-reports any semantic divergence (exit status 1 if one is found);
+reports any semantic divergence (exit status 1 if one is found) — with
+``--sfi`` it instead fuzzes the SFI verifier by mutating verified
+translations with sandbox-escape mutations, reporting the kill-rate
+(exit status 1 on any surviving unsafe mutant or overtight rejection);
 ``serve`` drives a batch of requests through the concurrent
 :class:`~repro.service.ModuleHost` (worker pool, deadlines, quotas,
 interpreter fallback) — the service layer's benchmarking entry point.
@@ -229,6 +233,25 @@ def cmd_difftest(args: argparse.Namespace) -> int:
             if target not in ARCHITECTURES:
                 print(f"omnicc: unknown target {target!r}", file=sys.stderr)
                 return 2
+    if args.sfi:
+        from repro.difftest.sfi_mutator import run_sfi_mutation_fuzz
+
+        collector = metrics.MetricsCollector()
+        with metrics.collect(collector):
+            summary = run_sfi_mutation_fuzz(
+                count=args.count,
+                seed=args.seed,
+                targets=targets,
+                mutants_per_module=args.mutants,
+                minimize=not args.no_minimize,
+            )
+        if args.json:
+            print(json.dumps(summary.to_dict(), indent=2))
+        else:
+            print(summary.render())
+        if args.stats:
+            print(f"\n{collector.render()}", file=sys.stderr)
+        return 0 if summary.clean else 1
     engine = Engine(cache=False)
     summary = run_difftest(
         count=args.count,
@@ -452,6 +475,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip shrinking divergent programs")
     p.add_argument("--stats", action="store_true",
                    help="print engine pipeline metrics to stderr")
+    p.add_argument("--sfi", action="store_true",
+                   help="fuzz the SFI verifier instead: mutate verified "
+                        "translations with sandbox-escape mutations and "
+                        "report the kill-rate (exit 1 on any surviving "
+                        "unsafe mutant or overtight rejection)")
+    p.add_argument("--mutants", type=int, default=6,
+                   help="with --sfi: mutants derived per translated "
+                        "module (default 6)")
     p.set_defaults(fn=cmd_difftest)
 
     p = sub.add_parser(

@@ -7,9 +7,18 @@ harness cross-executes each one on the reference interpreter and all four
 simulated targets, and any disagreement in final register files, memory
 digest, or trap outcome is shrunk to a minimal repro by the minimizer.
 
+The package also fuzzes the *other* trust boundary: the SFI verifier.
+:mod:`repro.difftest.sfi_mutator` mutates verified translations with
+seeded sandbox-escape mutations (dropped/reordered/retargeted guards,
+widened sp updates, redirected store bases, clobbered dedicated
+registers) and demands a 100% kill-rate on unsafe mutants while
+behavior-preserving mutants keep verifying.
+
 Entry points:
 
 * :func:`repro.difftest.harness.run_difftest` — the programmatic API;
+* :func:`repro.difftest.sfi_mutator.run_sfi_mutation_fuzz` — the SFI
+  verifier fuzzer (``omnicc difftest --sfi``);
 * ``omnicc difftest`` — the CLI front end;
 * ``benchmarks/difftest_sweep.py`` — long-running sweeps with JSON output.
 """
@@ -22,13 +31,25 @@ from repro.difftest.harness import (
     run_difftest,
 )
 from repro.difftest.minimize import minimize_program
+from repro.difftest.sfi_mutator import (
+    Mutation,
+    MutantReport,
+    SfiFuzzSummary,
+    SfiMutator,
+    run_sfi_mutation_fuzz,
+)
 
 __all__ = [
     "DiffSummary",
     "Divergence",
     "GenProgram",
+    "MutantReport",
+    "Mutation",
     "Outcome",
     "ProgramGenerator",
+    "SfiFuzzSummary",
+    "SfiMutator",
     "minimize_program",
     "run_difftest",
+    "run_sfi_mutation_fuzz",
 ]

@@ -172,7 +172,18 @@ class Engine:
                 cached = self.cache.get(program, arch, opts)
                 if cached is not None:
                     return cached
+            from repro.omnivm.verifier import verify_program
+            from repro.sfi.verifier import verify_sfi
+
+            verify_program(program)
             translated = translate(program, arch, opts)
+            # Verify BEFORE the translation enters the shared cache:
+            # cache hits everywhere else (load_for_target, serve) skip
+            # verification on the contract that cached code was
+            # verified when it was admitted.  Admitting an unverified
+            # translation here would silently launder it past the SFI
+            # verifier on the next load.
+            verify_sfi(translated)
             if self.cache is not None:
                 self.cache.put(program, arch, opts, translated)
             return translated

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import CompileError, ParseError, SourceLocation
+from repro.errors import CompileError, ParseError
 from repro.ir.ir import (
     BasicBlock,
     Const,

@@ -39,7 +39,14 @@ execution engines add ``execute.predecode_ms`` (wall milliseconds spent
 predecoding a program into closures), ``execute.blocks`` (basic blocks
 dispatched), ``execute.fused`` (superinstructions executed), and the
 cache's ``cache.predecode_hit`` / ``cache.predecode_miss`` pair for the
-in-memory predecode side table.  See DESIGN.md §"Engine, cache and
+in-memory predecode side table.  The CFG-based SFI verifier reports its
+graph shape per verification — ``verify.sfi.blocks`` /
+``verify.sfi.edges`` / ``verify.sfi.joins`` (meet operations at join
+points) alongside the existing ``verify.sfi.instrs`` /
+``verify.sfi.stores_checked`` / ``verify.sfi.ijumps_checked`` — and the
+sandbox-escape mutation fuzzer adds the ``difftest.sfi.*`` family
+(``modules``, ``mutants``, ``killed``, ``survivors``, ``accepted``,
+``overtight``, ``shrink_checks``).  See DESIGN.md §"Engine, cache and
 metrics" for the full vocabulary.
 """
 

@@ -43,7 +43,7 @@ from repro.regalloc.linearscan import (
     allocate,
     omnivm_register_file,
 )
-from repro.utils.bits import align_up, f32_to_bits, s32, u32
+from repro.utils.bits import align_up, s32, u32
 
 SCRATCH = (5, 6)  # reserved integer scratch registers
 FSCRATCH = (14, 15)  # reserved FP scratch registers

@@ -8,7 +8,7 @@ the wire.
 from __future__ import annotations
 
 from repro.omnivm.encoding import decode_program
-from repro.omnivm.isa import INSTR_SIZE, VMInstr
+from repro.omnivm.isa import INSTR_SIZE
 from repro.omnivm.linker import LinkedProgram
 from repro.omnivm.memory import CODE_BASE
 

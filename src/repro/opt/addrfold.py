@@ -22,7 +22,7 @@ uses it.  The pass records its effect in ``Instr.offset`` /
 
 from __future__ import annotations
 
-from repro.ir.ir import Const, Function, GlobalRef, Instr, Operand, Temp
+from repro.ir.ir import Const, Function, Instr, Operand, Temp
 from repro.opt.common import definition_counts
 from repro.utils.bits import s32
 

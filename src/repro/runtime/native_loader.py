@@ -116,9 +116,14 @@ def load_for_target(
         if verify:
             verify_program(program)
         translated = translate(program, arch, options)
-        if verify and translated.options.sfi:
+        if verify:
             from repro.sfi.verifier import verify_sfi
 
+            # Run the CFG verifier on every translation, not just SFI
+            # ones: without an SFI sandbox claim it enforces nothing,
+            # but it still recovers the CFG (catching malformed
+            # translator output early) and feeds the verify.sfi.*
+            # metrics uniformly.
             verify_sfi(translated)
         if cache is not None:
             cache.put(program, arch, options, translated)

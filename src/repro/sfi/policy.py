@@ -48,6 +48,15 @@ CODE_OFFSET_MASK = 0x00FFFFF8
 #: survives SFI masking; the executor halts when control reaches it.
 RETURN_SENTINEL = CODE_BASE | CODE_OFFSET_MASK
 
+#: Maximum cumulative stack-pointer excursion (bytes, either direction)
+#: the verifier will accept on any path before declaring sp potentially
+#: out of the guard zones.  The stack segment is 1 MiB and sits more
+#: than 15 MiB from the nearest mapped segment on either side, so a
+#: 1 MiB drift plus the ±32 KiB store offsets stays strictly inside
+#: unmapped guard pages — a wild sp-relative store faults, it cannot
+#: land in another segment.
+SP_EXCURSION_LIMIT = 1 << 20
+
 
 @dataclass(frozen=True)
 class SandboxPolicy:

@@ -58,10 +58,9 @@ def sandbox_store_address(
         sfi("add", rd=at, rs=base_reg, rt=index_reg)
         addr_reg = at
     elif offset != 0:
-        if spec.name == "x86":
-            sfi("addi", rd=at, rs=base_reg, imm=offset)  # lea
-        else:
-            sfi("addi", rd=at, rs=base_reg, imm=offset)
+        # One address-forming instruction on every target (x86 models
+        # its `lea` with the same three-operand add-immediate).
+        sfi("addi", rd=at, rs=base_reg, imm=offset)
         addr_reg = at
 
     # 2. Mask and rebase.
@@ -123,7 +122,8 @@ def sandbox_jump_target(
         sfi("and", rd=at, rs=target_reg, rt=spec.reserved["sfi_code_mask"])
     else:  # mips
         sfi("and", rd=at, rs=target_reg, rt=spec.reserved["sfi_code_mask"])
-    sfi("or", rd=at, rs=at, rt=spec.reserved["sfi_code_base"]) \
-        if spec.name != "ppc" else sfi(
-            "ori", rd=at, rs=at, imm=policy.code_base)
+    if spec.name == "ppc":
+        sfi("ori", rd=at, rs=at, imm=policy.code_base)
+    else:
+        sfi("or", rd=at, rs=at, rt=spec.reserved["sfi_code_base"])
     return seq, at

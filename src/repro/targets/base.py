@@ -26,7 +26,7 @@ appears in the timing model, not the semantics; caches are not modeled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro import metrics

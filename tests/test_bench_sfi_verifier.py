@@ -1,0 +1,92 @@
+"""Tier-1 smoke of the SFI-verifier benchmark.
+
+``benchmarks/`` is not collected by the tier-1 suite, but the
+``BENCH_sfi_verifier.json`` artifact contract must not silently rot,
+so this test loads the benchmark module by path and drives
+``collect_benchmark`` / ``validate_artifact`` on a small program and a
+small fixed-seed fuzz run.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.compiler import compile_and_link
+
+BENCH_PATH = (Path(__file__).resolve().parents[1] / "benchmarks"
+              / "bench_sfi_verifier.py")
+
+SRC = """
+int g[8];
+int main() {
+    int i;
+    for (i = 0; i < 8; i = i + 1) {
+        g[i] = i * 3;
+    }
+    emit_int(g[7]);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location(
+        "bench_sfi_verifier", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def payload(bench):
+    program = compile_and_link([SRC])
+    return bench.collect_benchmark(program=program, archs=("mips", "x86"),
+                                   repeats=2, fuzz_programs=2)
+
+
+class TestBenchmarkSmoke:
+    def test_payload_validates(self, bench, payload):
+        bench.validate_artifact(payload)
+        assert payload["schema_version"] == bench.SCHEMA_VERSION
+        assert {entry["arch"] for entry in payload["results"]} \
+            == {"mips", "x86"}
+
+    def test_kill_rate_is_total(self, payload):
+        fuzz = payload["fuzz"]
+        assert fuzz["kill_rate"] == 1.0
+        assert fuzz["unsafe_killed"] == fuzz["unsafe_total"] > 0
+        assert fuzz["safe_accepted"] == fuzz["safe_total"]
+
+    def test_graph_shape_reported(self, payload):
+        for entry in payload["results"]:
+            assert entry["blocks"] > 1, entry["arch"]
+            assert entry["edges"] > 0
+            assert entry["ns_per_instr"] > 0
+
+    def test_artifact_round_trips(self, bench, payload, tmp_path):
+        path = bench.write_artifact(payload,
+                                    tmp_path / "BENCH_sfi_verifier.json")
+        reloaded = json.loads(path.read_text())
+        bench.validate_artifact(reloaded)
+        assert reloaded == json.loads(json.dumps(payload))
+
+    def test_validator_rejects_schema_drift(self, bench, payload):
+        broken = json.loads(json.dumps(payload))
+        broken["schema_version"] = bench.SCHEMA_VERSION + 1
+        with pytest.raises(AssertionError):
+            bench.validate_artifact(broken)
+        broken = json.loads(json.dumps(payload))
+        del broken["results"][0]["blocks"]
+        with pytest.raises(AssertionError):
+            bench.validate_artifact(broken)
+        broken = json.loads(json.dumps(payload))
+        broken["fuzz"]["kill_rate"] = 0.5
+        with pytest.raises(AssertionError):
+            bench.validate_artifact(broken)
+
+    def test_artifact_default_path_is_repo_root(self, bench):
+        assert bench.ARTIFACT_PATH.name == "BENCH_sfi_verifier.json"
+        assert bench.ARTIFACT_PATH.parent == BENCH_PATH.parents[1]

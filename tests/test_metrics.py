@@ -144,11 +144,17 @@ class TestPipelineInstrumentation:
             == module.machine.instret
 
     def test_no_sfi_counts_without_sfi(self):
+        # The CFG verifier runs on every load (it recovers the graph
+        # and feeds metrics uniformly), but with SFI off it has no
+        # sandbox claim to check: zero stores/jumps checked, zero
+        # dynamic SFI instructions retired.
         program = compile_and_link([SRC])
         with metrics.collect() as collector:
             code, module = run_on_target(program, "mips", MOBILE_NOSFI)
         assert code == 0
-        assert "verify.sfi" not in collector.stage_calls
+        assert collector.stage_calls.get("verify.sfi") == 1
+        assert collector.counters["verify.sfi.stores_checked"] == 0
+        assert collector.counters["verify.sfi.ijumps_checked"] == 0
         assert "execute.sfi.dynamic" not in collector.counters
         assert module.machine.category_counts.get("sfi", 0) == 0
 

@@ -1,0 +1,331 @@
+"""The CFG/worklist SFI verifier: cross-block dataflow, delay slots,
+sp-excursion bounds, and the non-SFI regression.
+
+``tests/test_sfi.py`` covers the sandbox algebra and straight-line
+accept/reject cases; this file exercises what the worklist analysis
+adds over a linear scan:
+
+* sandboxing state propagated across basic-block boundaries, with the
+  meet at join points deciding acceptance (safe iff safe on *every*
+  in-edge);
+* MIPS/SPARC branch delay slots — a guard or a guarded store sitting in
+  a delay slot verifies exactly when it is safe on every path,
+  including SPARC annulled branches that skip the slot when untaken;
+* the sp-excursion interval: bounded drift (balanced frames, loops that
+  restore sp) is accepted, unbounded drift (straight-line or looped) is
+  rejected even though each individual update is a small constant;
+* non-SFI modules: nothing is enforced — the regression for the dead
+  ``or True`` branch the old linear verifier carried, which pretended
+  to check returns of non-SFI modules (a raw ``jr`` is legitimate
+  non-SFI translator output and must verify);
+* the ``verify.sfi.blocks`` / ``edges`` / ``joins`` metrics.
+
+Hostile sequences are hand-built with the same prepend idiom as
+``tests/test_sfi.py``: native instructions are spliced in front of a
+real translated module with all control-flow maps shifted to stay
+consistent, and the module entry is retargeted at the spliced code so
+the dataflow analysis actually reaches it from an anchor.
+"""
+
+import pytest
+
+from repro import metrics
+from repro.compiler import compile_and_link
+from repro.errors import VerifyError
+from repro.native.profiles import MOBILE_NOSFI, MOBILE_SFI
+from repro.sfi.policy import SP_EXCURSION_LIMIT
+from repro.sfi.verifier import SCRATCH_DATA_SANDBOXED, verify_sfi
+from repro.targets import mips, sparc
+from repro.targets.base import MInstr
+from repro.translators import ARCHITECTURES, translate
+
+#: The two delay-slot targets, with their register-convention modules.
+DELAY_ARCHES = {"mips": mips, "sparc": sparc}
+
+
+def _module_with_prelude(arch, prelude, options=MOBILE_SFI,
+                         anchor_prelude=True):
+    """Splice hand-built native instructions in front of a translated
+    module, keeping the control-flow maps consistent (indices shift).
+
+    With ``anchor_prelude`` the module entry is moved to index 0 so the
+    prelude is reachable from an anchor and gets real propagated
+    states; without it the prelude is dead code, checked only by the
+    conservative final pass."""
+    program = compile_and_link(["int main() { return 0; }"])
+    module = translate(program, arch, options)
+    shift = len(prelude)
+    for instr in module.instrs:
+        if instr.target >= 0:
+            instr.target += shift
+    module.omni_to_native = {
+        addr: index + shift for addr, index in module.omni_to_native.items()
+    }
+    module.entry_native = 0 if anchor_prelude else module.entry_native + shift
+    module.instrs = prelude + module.instrs
+    return module
+
+
+def _regs(arch):
+    return DELAY_ARCHES[arch]
+
+
+class TestCrossBlockFlow:
+    """Sandboxing sequences that span basic-block boundaries."""
+
+    def test_join_accepts_when_all_paths_sandboxed(self):
+        # Guard before the branch; both the taken and the fall-through
+        # path reach the store with at = DATA_SANDBOXED.
+        t = mips
+        module = _module_with_prelude("mips", [
+            MInstr("and", rd=t.AT, rs=t.INT_MAP[1], rt=t.SFI_MASK),   # 0
+            MInstr("or", rd=t.AT, rs=t.AT, rt=t.SFI_BASE),            # 1
+            MInstr("beq", rs=t.INT_MAP[2], target=5),                 # 2
+            MInstr("nop"),                                            # 3 slot
+            MInstr("addi", rd=t.INT_MAP[1], rs=t.INT_MAP[1], imm=4),  # 4 fall
+            MInstr("sw", rt=t.INT_MAP[1], rs=t.AT, imm=0),            # 5 join
+        ])
+        analysis = verify_sfi(module)
+        assert analysis.in_scratch[5] == SCRATCH_DATA_SANDBOXED
+        assert analysis.joins >= 1
+
+    def test_join_rejects_when_one_path_clobbers_the_guard(self):
+        # Identical shape, but the fall-through path clobbers at: the
+        # meet at the join demotes it to UNKNOWN and the store — safe
+        # on the taken path alone — must be rejected.
+        t = mips
+        module = _module_with_prelude("mips", [
+            MInstr("and", rd=t.AT, rs=t.INT_MAP[1], rt=t.SFI_MASK),   # 0
+            MInstr("or", rd=t.AT, rs=t.AT, rt=t.SFI_BASE),            # 1
+            MInstr("beq", rs=t.INT_MAP[2], target=5),                 # 2
+            MInstr("nop"),                                            # 3 slot
+            MInstr("li", rd=t.AT, imm=0x50000000),                    # 4 fall
+            MInstr("sw", rt=t.INT_MAP[1], rs=t.AT, imm=0),            # 5 join
+        ])
+        with pytest.raises(VerifyError, match="unsandboxed"):
+            verify_sfi(module)
+
+    def test_guard_split_across_unconditional_jump(self):
+        # Mask in one block, rebase after a `j`: the state must flow
+        # along the jump edge for the store to verify.
+        t = mips
+        module = _module_with_prelude("mips", [
+            MInstr("and", rd=t.AT, rs=t.INT_MAP[1], rt=t.SFI_MASK),   # 0
+            MInstr("j", target=3),                                    # 1
+            MInstr("nop"),                                            # 2 slot
+            MInstr("or", rd=t.AT, rs=t.AT, rt=t.SFI_BASE),            # 3
+            MInstr("sw", rt=t.INT_MAP[1], rs=t.AT, imm=0),            # 4
+        ])
+        verify_sfi(module)
+
+    def test_unreachable_blocks_still_checked(self):
+        # Code no anchor reaches is checked under the conservative
+        # entry state: hostile instructions must not hide behind
+        # unreachability.
+        t = mips
+        module = _module_with_prelude("mips", [
+            MInstr("sw", rt=t.INT_MAP[1], rs=t.INT_MAP[2], imm=0),
+        ], anchor_prelude=False)
+        with pytest.raises(VerifyError, match="unsandboxed"):
+            verify_sfi(module)
+
+
+class TestDelaySlots:
+    """The delay slot belongs to its branch: its transfer function
+    applies to the taken edge always, to the fall-through edge unless
+    the branch annuls."""
+
+    @pytest.mark.parametrize("arch", sorted(DELAY_ARCHES))
+    def test_guard_completed_in_slot_verifies_on_both_paths(self, arch):
+        t = _regs(arch)
+        module = _module_with_prelude(arch, [
+            MInstr("and", rd=t.AT, rs=t.INT_MAP[1], rt=t.SFI_MASK),   # 0
+            MInstr("beq", rs=t.INT_MAP[2], target=3),                 # 1
+            MInstr("or", rd=t.AT, rs=t.AT, rt=t.SFI_BASE),            # 2 slot
+            MInstr("sw", rt=t.INT_MAP[1], rs=t.AT, imm=0),            # 3 join
+        ])
+        analysis = verify_sfi(module)
+        assert analysis.in_scratch[3] == SCRATCH_DATA_SANDBOXED
+
+    @pytest.mark.parametrize("arch", sorted(DELAY_ARCHES))
+    def test_guarded_store_in_slot_verifies(self, arch):
+        t = _regs(arch)
+        module = _module_with_prelude(arch, [
+            MInstr("and", rd=t.AT, rs=t.INT_MAP[1], rt=t.SFI_MASK),   # 0
+            MInstr("or", rd=t.AT, rs=t.AT, rt=t.SFI_BASE),            # 1
+            MInstr("beq", rs=t.INT_MAP[2], target=4),                 # 2
+            MInstr("sw", rt=t.INT_MAP[1], rs=t.AT, imm=0),            # 3 slot
+        ])
+        verify_sfi(module)
+
+    @pytest.mark.parametrize("arch", sorted(DELAY_ARCHES))
+    def test_raw_store_in_slot_rejected(self, arch):
+        t = _regs(arch)
+        module = _module_with_prelude(arch, [
+            MInstr("beq", rs=t.INT_MAP[2], target=2),                 # 0
+            MInstr("sw", rt=t.INT_MAP[1], rs=t.INT_MAP[3], imm=0),    # 1 slot
+            MInstr("nop"),                                            # 2
+        ])
+        with pytest.raises(VerifyError, match="unsandboxed"):
+            verify_sfi(module)
+
+    def test_annulled_slot_guard_rejected(self):
+        # SPARC annulled branch: the slot executes only when the branch
+        # is taken, so the fall-through path reaches the store with the
+        # rebase missing — unsafe on one path means rejected.
+        t = sparc
+        module = _module_with_prelude("sparc", [
+            MInstr("and", rd=t.AT, rs=t.INT_MAP[1], rt=t.SFI_MASK),   # 0
+            MInstr("beq", rs=t.INT_MAP[2], target=3, annul=True),     # 1
+            MInstr("or", rd=t.AT, rs=t.AT, rt=t.SFI_BASE),            # 2 slot
+            MInstr("sw", rt=t.INT_MAP[1], rs=t.AT, imm=0),            # 3 join
+        ])
+        with pytest.raises(VerifyError, match="unsandboxed"):
+            verify_sfi(module)
+
+    def test_annulled_branch_with_reguarded_fall_path_verifies(self):
+        # Same annulled branch, but the fall-through path completes the
+        # guard itself before rejoining: now every path is safe and the
+        # split sequence must verify.
+        t = sparc
+        module = _module_with_prelude("sparc", [
+            MInstr("and", rd=t.AT, rs=t.INT_MAP[1], rt=t.SFI_MASK),   # 0
+            MInstr("beq", rs=t.INT_MAP[2], target=6, annul=True),     # 1
+            MInstr("or", rd=t.AT, rs=t.AT, rt=t.SFI_BASE),            # 2 slot
+            MInstr("or", rd=t.AT, rs=t.AT, rt=t.SFI_BASE),            # 3 fall
+            MInstr("j", target=6),                                    # 4
+            MInstr("nop"),                                            # 5 slot
+            MInstr("sw", rt=t.INT_MAP[1], rs=t.AT, imm=0),            # 6 join
+        ])
+        analysis = verify_sfi(module)
+        assert analysis.in_scratch[6] == SCRATCH_DATA_SANDBOXED
+
+
+class TestSpExcursion:
+    """Stores through sp are exempt from masking only while the
+    cumulative sp displacement stays within ±SP_EXCURSION_LIMIT."""
+
+    def test_straight_line_drift_past_limit_rejected(self):
+        t = mips
+        step = -32767
+        hops = SP_EXCURSION_LIMIT // -step + 1
+        module = _module_with_prelude("mips", [
+            MInstr("addi", rd=t.SP, rs=t.SP, imm=step)
+            for _ in range(hops)
+        ] + [
+            MInstr("sw", rt=t.INT_MAP[1], rs=t.SP, imm=0),
+        ])
+        with pytest.raises(VerifyError, match="excursion"):
+            verify_sfi(module)
+
+    def test_balanced_frame_accepted(self):
+        t = mips
+        module = _module_with_prelude("mips", [
+            MInstr("addi", rd=t.SP, rs=t.SP, imm=-64),
+            MInstr("sw", rt=t.INT_MAP[1], rs=t.SP, imm=16),
+            MInstr("addi", rd=t.SP, rs=t.SP, imm=64),
+        ])
+        verify_sfi(module)
+
+    def test_loop_with_net_drift_rejected(self):
+        # Each update is a small constant, but the loop accumulates:
+        # widening at the join drives the interval to top, and the
+        # sp-relative store past the loop must be rejected.
+        t = mips
+        module = _module_with_prelude("mips", [
+            MInstr("addi", rd=t.SP, rs=t.SP, imm=-16),                # 0
+            MInstr("beq", rs=t.INT_MAP[2], target=0),                 # 1
+            MInstr("nop"),                                            # 2 slot
+            MInstr("sw", rt=t.INT_MAP[1], rs=t.SP, imm=0),            # 3
+        ])
+        with pytest.raises(VerifyError, match="excursion"):
+            verify_sfi(module)
+
+    def test_loop_with_balanced_frame_accepted(self):
+        t = mips
+        module = _module_with_prelude("mips", [
+            MInstr("addi", rd=t.SP, rs=t.SP, imm=-16),                # 0
+            MInstr("sw", rt=t.INT_MAP[1], rs=t.SP, imm=0),            # 1
+            MInstr("addi", rd=t.SP, rs=t.SP, imm=16),                 # 2
+            MInstr("beq", rs=t.INT_MAP[2], target=0),                 # 3
+            MInstr("nop"),                                            # 4 slot
+        ])
+        verify_sfi(module)
+
+
+class TestNonSfiModules:
+    """Without an SFI sandbox claim there is no invariant to enforce.
+
+    Regression for the dead ``elif not (... or True): pass`` branch the
+    linear verifier carried: it *looked* like a return-register rule
+    for non-SFI modules but could never fire.  The real rule is that
+    non-SFI modules are not checked at all — raw indirect jumps and raw
+    stores are legitimate non-SFI translator output."""
+
+    def test_non_sfi_module_with_raw_indirect_jump_verifies(self):
+        t = mips
+        module = _module_with_prelude("mips", [
+            MInstr("jr", rs=t.INT_MAP[3]),
+            MInstr("nop"),
+        ], options=MOBILE_NOSFI)
+        verify_sfi(module)  # must not raise
+
+    def test_non_sfi_module_with_raw_store_verifies(self):
+        t = mips
+        module = _module_with_prelude("mips", [
+            MInstr("sw", rt=t.INT_MAP[1], rs=t.INT_MAP[2], imm=0),
+        ], options=MOBILE_NOSFI)
+        verify_sfi(module)
+
+    @pytest.mark.parametrize("arch", ARCHITECTURES)
+    def test_non_sfi_translator_output_verifies(self, arch):
+        program = compile_and_link(["""
+        int f(int x) { return x + 1; }
+        int main() { return f(41) - 42; }
+        """])
+        module = translate(program, arch, MOBILE_NOSFI)
+        analysis = verify_sfi(module)
+        assert analysis.blocks > 0  # the CFG is still recovered
+
+    def test_same_hostile_code_rejected_under_sfi(self):
+        # The control: identical raw jr IS rejected when SFI is on.
+        t = mips
+        module = _module_with_prelude("mips", [
+            MInstr("jr", rs=t.INT_MAP[3]),
+            MInstr("nop"),
+        ], options=MOBILE_SFI)
+        with pytest.raises(VerifyError, match="indirect"):
+            verify_sfi(module)
+
+
+class TestAnalysisAndMetrics:
+    def _translated(self):
+        program = compile_and_link(["""
+        int g[8];
+        int main() {
+            int i;
+            for (i = 0; i < 8; i = i + 1) g[i] = i * i;
+            return g[7];
+        }
+        """])
+        return translate(program, "mips", MOBILE_SFI)
+
+    def test_analysis_reports_cfg_shape(self):
+        module = self._translated()
+        analysis = verify_sfi(module)
+        assert analysis.blocks > 1
+        assert analysis.edges > 0
+        assert analysis.joins > 0          # the loop head is a join
+        assert analysis.stores_checked > 0
+        assert len(analysis.in_scratch) == len(module.instrs)
+
+    def test_metrics_counters_match_analysis(self):
+        module = self._translated()
+        with metrics.collect() as collector:
+            analysis = verify_sfi(module)
+        counters = collector.counters
+        assert counters["verify.sfi.blocks"] == analysis.blocks
+        assert counters["verify.sfi.edges"] == analysis.edges
+        assert counters["verify.sfi.joins"] == analysis.joins
+        assert counters["verify.sfi.instrs"] == len(module.instrs)
+        assert "verify.sfi" in collector.stage_seconds

@@ -1,0 +1,149 @@
+"""The sandbox-escape mutation fuzzer for the SFI verifier.
+
+The fuzzer (``repro.difftest.sfi_mutator``) is the adversarial half of
+the verification story: it mutates *verified* translations with the
+escapes an attacker would try — dropped/reordered/retargeted guards,
+widened sp updates, redirected store bases, clobbered dedicated
+registers, raw indirect jumps — and demands that the verifier kill
+every unsafe mutant while behavior-preserving mutants keep verifying.
+
+Covered here:
+
+* exhaustive single-mutation classification on a store+indirect-call
+  module for every target: each unsafe candidate is killed, each safe
+  candidate is accepted (no survivors, nothing over-tight);
+* composite mutants: expectation is the OR of site-disjoint parts;
+* the fixed-seed end-to-end run pinned by the acceptance criteria:
+  100% kill-rate, zero survivors, zero over-tight rejections;
+* determinism of the seeded run;
+* ddmin minimization of survivors (exercised by stubbing the verifier
+  to accept everything, since the real one leaves nothing to shrink);
+* clone isolation: evaluating mutants never perturbs the original.
+"""
+
+import pytest
+
+from repro import metrics
+from repro.compiler import compile_and_link
+from repro.difftest import sfi_mutator
+from repro.difftest.sfi_mutator import (
+    SfiMutator,
+    clone_module,
+    evaluate_mutant,
+    run_sfi_mutation_fuzz,
+)
+from repro.native.profiles import MOBILE_SFI
+from repro.translators import ARCHITECTURES, translate
+
+#: A module with sandboxed stores AND a sandboxed indirect call, so the
+#: candidate set spans every mutation operator family.
+SOURCE = """
+int g[16];
+int f(int *p, int i, int v) { p[i] = v; return p[i]; }
+int main() {
+    int (*fp)(int *, int, int) = f;
+    return fp(g, 3, 9);
+}
+"""
+
+
+def _mutator(arch):
+    program = compile_and_link([SOURCE])
+    module = translate(program, arch, MOBILE_SFI)
+    analysis = sfi_mutator.verify_sfi(module)
+    return module, SfiMutator(module, analysis)
+
+
+class TestCandidates:
+    def test_operator_families_present(self):
+        _module, mutator = _mutator("mips")
+        kinds = {m.kind for m in mutator.candidates()}
+        assert {"drop-guard", "retarget-guard", "redirect-store",
+                "raw-jump", "clobber-dedicated", "tweak-value"} <= kinds
+
+    @pytest.mark.parametrize("arch", ARCHITECTURES)
+    def test_every_single_mutation_classified_correctly(self, arch):
+        """The core soundness/precision check, exhaustively: every
+        unsafe candidate must be killed, every safe one accepted."""
+        module, mutator = _mutator(arch)
+        candidates = mutator.candidates()
+        assert candidates, arch
+        wrong = []
+        for mutation in candidates:
+            verdict, _error = evaluate_mutant(module, mutator, [mutation])
+            if verdict in ("survived", "overtight"):
+                wrong.append((verdict, mutation.describe()))
+        assert not wrong, wrong
+
+    def test_composite_expectation_is_or_of_parts(self):
+        module, mutator = _mutator("mips")
+        candidates = mutator.candidates()
+        unsafe = next(m for m in candidates if m.expected == "unsafe")
+        safe = next(m for m in candidates
+                    if m.expected == "safe" and m.site != unsafe.site)
+        verdict, error = evaluate_mutant(module, mutator, [safe, unsafe])
+        assert verdict == "killed"
+        assert error
+
+    def test_clone_isolation(self):
+        module, mutator = _mutator("mips")
+        before = [str(instr) for instr in module.instrs]
+        for mutation in mutator.candidates()[:8]:
+            evaluate_mutant(module, mutator, [mutation])
+        assert [str(instr) for instr in module.instrs] == before
+        sfi_mutator.verify_sfi(module)  # the original still verifies
+
+
+class TestSeededRun:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return run_sfi_mutation_fuzz(count=6, seed="sfi-mutants-tier1",
+                                     mutants_per_module=4)
+
+    def test_full_kill_rate_on_fixed_seed(self, summary):
+        assert summary.unsafe_total > 0
+        assert summary.safe_total > 0
+        assert summary.kill_rate == 1.0
+        assert summary.clean, summary.render()
+
+    def test_summary_shape(self, summary):
+        payload = summary.to_dict()
+        assert payload["modules"] > 0
+        assert payload["mutants"] == (payload["unsafe_total"]
+                                      + payload["safe_total"])
+        assert payload["survivors"] == [] and payload["overtight"] == []
+        assert set(payload["targets"]) == set(ARCHITECTURES)
+        assert "kill-rate 100.0%" in summary.render()
+
+    def test_deterministic_for_a_seed(self, summary):
+        again = run_sfi_mutation_fuzz(count=6, seed="sfi-mutants-tier1",
+                                      mutants_per_module=4)
+        assert again.to_dict() == summary.to_dict()
+
+    def test_metrics_family_recorded(self):
+        with metrics.collect() as collector:
+            run_sfi_mutation_fuzz(count=1, seed="sfi-metrics",
+                                  targets=("mips",), mutants_per_module=2)
+        counters = collector.counters
+        assert counters["difftest.sfi.modules"] >= 1
+        assert counters["difftest.sfi.mutants"] >= 1
+        assert counters.get("difftest.sfi.survivors", 0) == 0
+
+
+class TestMinimization:
+    def test_survivors_are_shrunk_to_a_minimal_escape(self, monkeypatch):
+        """The real verifier leaves no survivors to shrink, so stub it
+        out: with every mutant accepted, a composite escape must ddmin
+        down to a single unsafe mutation."""
+        module, mutator = _mutator("mips")
+        candidates = mutator.candidates()
+        unsafe = next(m for m in candidates if m.expected == "unsafe")
+        padding = [m for m in candidates if m.site != unsafe.site][:2]
+        assert padding
+        monkeypatch.setattr(sfi_mutator, "verify_sfi",
+                            lambda _module, policy=None: None)
+        minimized, checks = sfi_mutator._minimize_survivor(
+            module, mutator, padding + [unsafe])
+        assert checks > 0
+        assert len(minimized) == 1
+        assert minimized[0].expected == "unsafe"
