@@ -32,17 +32,23 @@ reproduced evaluation.
 from repro import metrics
 from repro.cache import TranslationCache
 from repro.compiler import CompileOptions, compile_and_link, compile_to_object
-from repro.engine import Engine
+from repro.engine import Engine, RunConfig
 from repro.errors import (
     AccessViolation,
     CompileError,
+    CrossModuleViolation,
     DeadlineExceeded,
+    DuplicateExportError,
+    DynamicLinkError,
     HostCallError,
+    ModuleCycleError,
+    ModuleRevokedError,
     QuotaExceeded,
     ReproError,
     SandboxViolation,
     ServiceOverloaded,
     UnknownArchitectureError,
+    UnresolvedImportError,
     VerifyError,
 )
 from repro.metrics import MetricsCollector
@@ -58,7 +64,16 @@ from repro.omnivm.asmparser import assemble
 from repro.omnivm.linker import LinkedProgram, link
 from repro.omnivm.objfile import ObjectModule
 from repro.runtime.host import Host
-from repro.runtime.loader import load_for_interpretation, run_module
+from repro.runtime.linker import (
+    LinkedImage,
+    ModuleRegistry,
+    dynamic_link,
+)
+from repro.runtime.loader import (
+    load_for_interpretation,
+    load_module,
+    run_module,
+)
 from repro.runtime.native_loader import load_for_target, run_on_target
 from repro.service import (
     FaultInjector,
@@ -77,18 +92,25 @@ __all__ = [
     "AccessViolation",
     "CompileError",
     "CompileOptions",
+    "CrossModuleViolation",
     "DeadlineExceeded",
+    "DuplicateExportError",
+    "DynamicLinkError",
     "Engine",
     "FaultInjector",
     "Host",
     "HostCallError",
+    "LinkedImage",
     "LinkedProgram",
     "MOBILE_NOSFI",
     "MOBILE_SFI",
     "MetricsCollector",
+    "ModuleCycleError",
     "ModuleHost",
+    "ModuleRegistry",
     "ModuleRequest",
     "ModuleResponse",
+    "ModuleRevokedError",
     "NATIVE_CC",
     "NATIVE_GCC",
     "ObjectModule",
@@ -97,19 +119,23 @@ __all__ = [
     "ReproError",
     "RequestQuota",
     "RetryPolicy",
+    "RunConfig",
     "SandboxViolation",
     "ServiceOverloaded",
     "TranslationCache",
     "TranslationOptions",
     "UnknownArchitectureError",
+    "UnresolvedImportError",
     "VerifyError",
     "assemble",
     "compile_and_link",
     "compile_minilisp",
     "compile_to_object",
+    "dynamic_link",
     "link",
     "load_for_interpretation",
     "load_for_target",
+    "load_module",
     "metrics",
     "run_module",
     "run_on_target",

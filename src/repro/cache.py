@@ -64,8 +64,9 @@ from repro.translators.base import TranslatedModule, TranslationOptions
 
 #: Bump when the on-disk entry layout changes; mismatched files are
 #: treated as misses and rewritten.  Format 2 added the mandatory
-#: ``instr_sha256`` integrity digest.
-DISK_FORMAT = 2
+#: ``instr_sha256`` integrity digest; format 3 added ``extern_fixups``
+#: (covered by the digest) for per-module dynamic-link chunks.
+DISK_FORMAT = 3
 
 #: MInstr fields persisted to disk (caches/latencies are recomputed).
 _MINSTR_FIELDS = (
@@ -75,7 +76,15 @@ _MINSTR_FIELDS = (
 
 
 def program_digest(program: LinkedProgram) -> str:
-    """Content hash of everything translation output depends on."""
+    """Content hash of everything translation output depends on.
+
+    A program that carries a precomputed ``digest_hint`` (set by the
+    dynamic linker on the sealed per-module translation units it
+    builds) short-circuits the hash: linking re-digests each shared
+    chunk once, not once per cache probe."""
+    hint = getattr(program, "digest_hint", None)
+    if hint is not None:
+        return hint
     digest = hashlib.sha256()
     digest.update(program.text_image)
     digest.update(b"\x00data\x00")
@@ -83,6 +92,18 @@ def program_digest(program: LinkedProgram) -> str:
     digest.update(f"\x00entry\x00{program.entry_address}".encode())
     for name, (start, end) in sorted(program.function_ranges.items()):
         digest.update(f"\x00fn\x00{name}\x00{start}\x00{end}".encode())
+    # Dynamic-link translation units: the placement and the set of
+    # foreign targets change the emitted code, so they key the entry.
+    # Whole programs (base 0, no externs) keep their historical digest.
+    base_index = getattr(program, "base_index", 0)
+    extern_addrs = getattr(program, "extern_addrs", frozenset())
+    if base_index:
+        digest.update(f"\x00base\x00{base_index}".encode())
+    if extern_addrs:
+        digest.update(
+            ("\x00extern\x00"
+             + ",".join(str(a) for a in sorted(extern_addrs))).encode()
+        )
     return digest.hexdigest()
 
 
@@ -247,7 +268,8 @@ class TranslationCache:
     # -- invalidation ---------------------------------------------------------
 
     def invalidate(self, program: LinkedProgram | None = None,
-                   arch: str | None = None) -> int:
+                   arch: str | None = None,
+                   digest: str | None = None) -> int:
         """Drop entries matching *program* and/or *arch* (both None =
         everything).  Removes matching disk entries too — including
         entries the LRU already evicted but disk still holds (each
@@ -255,8 +277,13 @@ class TranslationCache:
         filter), so an invalidated translation can never be resurrected
         by a later :meth:`get`.  Disk-only removals are counted in
         ``stats().invalidations``; the return value is the number of
-        in-memory entries dropped."""
-        digest = program_digest(program) if program is not None else None
+        in-memory entries dropped.
+
+        *digest* filters by a raw program digest directly — the module
+        registry uses this to revoke a module's per-layout translation
+        chunks without reconstructing the translation units."""
+        if program is not None:
+            digest = program_digest(program)
         with self._lock:
             doomed = [
                 key for key in self._entries
@@ -346,6 +373,9 @@ class TranslationCache:
             {name: getattr(instr, name) for name in _MINSTR_FIELDS}
             for instr in translated.instrs
         ])
+        fixups_json = json.dumps(
+            [list(pair) for pair in translated.extern_fixups]
+        )
         payload = {
             "format": DISK_FORMAT,
             "key": list(key),
@@ -356,7 +386,10 @@ class TranslationCache:
                 str(omni): native
                 for omni, native in translated.omni_to_native.items()
             },
-            "instr_sha256": self._instr_digest(instrs_json),
+            "extern_fixups": json.loads(fixups_json),
+            "instr_sha256": self._instr_digest(
+                instrs_json + "|" + fixups_json
+            ),
             "instrs": json.loads(instrs_json),
         }
         # Write-then-rename: a concurrent reader sees either the old
@@ -388,7 +421,10 @@ class TranslationCache:
                     or payload.get("key") != list(key)):
                 raise ValueError("stale format or foreign key")
             instrs_json = json.dumps(payload["instrs"])
-            if payload.get("instr_sha256") != self._instr_digest(instrs_json):
+            fixups_json = json.dumps(payload["extern_fixups"])
+            if payload.get("instr_sha256") != self._instr_digest(
+                instrs_json + "|" + fixups_json
+            ):
                 raise ValueError("integrity digest mismatch")
             arch = key[1]  # already verified equal to the payload key
             options = TranslationOptions(**payload["options"])
@@ -401,6 +437,10 @@ class TranslationCache:
                     for omni, native in payload["omni_to_native"].items()
                 },
                 entry_native=payload["entry_native"],
+                extern_fixups=[
+                    (int(idx), int(addr))
+                    for idx, addr in payload["extern_fixups"]
+                ],
             )
         except (OSError, ValueError, TypeError, KeyError):
             # Truncated, tampered, stale-format, or otherwise unusable:

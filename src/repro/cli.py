@@ -7,7 +7,7 @@ Usage (also via ``python -m repro``):
     omnicc compile  prog.c [-o prog.oof] [-O{0,1,2}] [--lisp]
     omnicc link     a.oof b.oof [-o prog.oom]
     omnicc run      prog.c|prog.oom [--arch mips|sparc|ppc|x86|omnivm]
-                    [--no-sfi] [--cycles] [--stats]
+                    [--link lib.c]... [--no-sfi] [--cycles] [--stats]
     omnicc stats    prog.c|prog.oom [--arch all|mips|...] [--json]
     omnicc disasm   prog.oom [--function main]
     omnicc asm      prog.s [-o prog.oof]
@@ -30,6 +30,14 @@ translations with sandbox-escape mutations, reporting the kill-rate
 ``serve`` drives a batch of requests through the concurrent
 :class:`~repro.service.ModuleHost` (worker pool, deadlines, quotas,
 interpreter fallback) — the service layer's benchmarking entry point.
+
+``run --link lib.c`` dynamically links the main module against each
+``--link`` library (per-module SFI policies, cross-module calls through
+checked trampolines); ``serve`` request specs can likewise
+``{"register": name, ...}`` / ``{"revoke": name}`` modules and run
+``{"modules": [roots]}`` requests against the host's registry.  Dynamic
+link failures exit with distinct statuses: unresolved import 4, import
+cycle 5, revoked module 6, cross-module violation 7, duplicate export 8.
 """
 
 from __future__ import annotations
@@ -42,7 +50,14 @@ from pathlib import Path
 
 from repro import metrics
 from repro.compiler import CompileOptions, compile_to_object
-from repro.errors import ReproError
+from repro.errors import (
+    CrossModuleViolation,
+    DuplicateExportError,
+    ModuleCycleError,
+    ModuleRevokedError,
+    ReproError,
+    UnresolvedImportError,
+)
 from repro.lang2.compiler import compile_minilisp
 from repro.omnivm.asmparser import assemble
 from repro.omnivm.disasm import disassemble_program
@@ -55,6 +70,21 @@ from repro.translators import ARCHITECTURES, TranslationOptions
 
 def _load_objects(paths: list[str]) -> list[ObjectModule]:
     return [ObjectModule.from_bytes(Path(p).read_bytes()) for p in paths]
+
+
+def _object_from_path(path: str, opt_level: int) -> ObjectModule:
+    """One translation unit (NOT linked): a .c/.lisp/.s source or a
+    .oof/.oom object file, for dynamic-link registration."""
+    data = Path(path).read_bytes()
+    if path.endswith((".oof", ".oom")):
+        return ObjectModule.from_bytes(data)
+    text = data.decode("utf-8")
+    if path.endswith((".lisp", ".ml2")):
+        return compile_minilisp(text, module_name=Path(path).stem)
+    if path.endswith(".s"):
+        return assemble(text, Path(path).stem)
+    return compile_to_object(text, CompileOptions(
+        opt_level=opt_level, module_name=Path(path).stem))
 
 
 def _program_from_path(path: str, opt_level: int) -> LinkedProgram:
@@ -122,6 +152,20 @@ def cmd_link(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     collector = metrics.MetricsCollector()
     with metrics.collect(collector):
+        if args.link:
+            code, module = _run_linked(args)
+            sys.stdout.write(module.host.output_text())
+            if args.cycles:
+                machine = getattr(module, "machine", None)
+                detail = (f" instructions={machine.instret} "
+                          f"cycles={machine.cycles}" if machine else "")
+                print(f"\n[{args.arch}] exit={code}{detail} "
+                      f"modules={len(module.program.modules)}",
+                      file=sys.stderr)
+            if args.stats:
+                print(f"\n[{args.arch}] pipeline stats\n"
+                      f"{collector.render()}", file=sys.stderr)
+            return code & 0xFF
         program = _program_from_path(args.module, args.opt)
         if args.arch == "omnivm":
             code, host = run_module(program, engine=args.engine)
@@ -145,6 +189,25 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"\n[{args.arch}] pipeline stats\n{collector.render()}",
               file=sys.stderr)
     return code & 0xFF
+
+
+def _run_linked(args: argparse.Namespace):
+    """``run --link``: dynamically link the main module against the
+    ``--link`` libraries (per-module SFI + trampolines) and execute."""
+    from repro.engine import Engine, RunConfig
+
+    engine = Engine(
+        target=None if args.arch == "omnivm" else args.arch,
+        profile=TranslationOptions(sfi=not args.no_sfi),
+    )
+    for path in args.link:
+        obj = _object_from_path(path, args.opt)
+        engine.register_module(obj.name, obj)
+    main_obj = _object_from_path(args.module, args.opt)
+    engine.register_module(main_obj.name, main_obj)
+    module = engine.load_program(
+        [main_obj.name], config=RunConfig(engine=args.engine))
+    return module.run(), module
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -278,10 +341,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     per-request outcomes plus service statistics.
 
     The request file is a JSON array; each element names a module
-    (``"path"`` — any format ``run`` accepts — or inline ``"source"``)
-    plus optional ``"arch"``, ``"entry"``, ``"deadline_seconds"``,
-    ``"fuel"``, ``"max_output_bytes"``, and ``"repeat"`` (clone the
-    request N times, for load generation).
+    (``"path"`` — any format ``run`` accepts — inline ``"source"``, or
+    ``"modules"`` — root names to dynamically link out of the host's
+    registry) plus optional ``"arch"``, ``"entry"``,
+    ``"deadline_seconds"``, ``"fuel"``, ``"max_output_bytes"``, and
+    ``"repeat"`` (clone the request N times, for load generation).
+
+    Two action elements manage the registry in file order:
+    ``{"register": NAME, "path"|"source": ...}`` and
+    ``{"revoke": NAME}``.  Requests preceding an action complete before
+    it applies (the pending batch is flushed), so a spec can exercise
+    register -> run -> revoke -> run deterministically.
     """
     from repro.engine import Engine
     from repro.service import ModuleRequest, RequestQuota
@@ -292,43 +362,71 @@ def cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     programs: dict[str, LinkedProgram] = {}
-    requests = []
-    for index, spec in enumerate(spec_list):
-        if "path" in spec:
-            if spec["path"] not in programs:
-                programs[spec["path"]] = _program_from_path(
-                    spec["path"], args.opt)
-            program: LinkedProgram | str = programs[spec["path"]]
-        elif "source" in spec:
-            program = spec["source"]
-        else:
-            print(f"omnicc: serve: request {index} has neither "
-                  f"'path' nor 'source'", file=sys.stderr)
-            return 2
-        quota = RequestQuota(
-            fuel=spec.get("fuel", RequestQuota.fuel),
-            segment_size=spec.get("segment_size"),
-            max_output_bytes=spec.get(
-                "max_output_bytes", RequestQuota.max_output_bytes),
-        )
-        base_id = spec.get("id", f"{index}")
-        repeat = int(spec.get("repeat", 1))
-        for clone in range(repeat):
-            requests.append(ModuleRequest(
-                program=program,
-                target=spec.get("arch"),
-                entry=spec.get("entry"),
-                deadline_seconds=spec.get("deadline_seconds"),
-                quota=quota,
-                request_id=(base_id if repeat == 1
-                            else f"{base_id}#{clone}"),
-            ))
-
+    responses = []
     engine = Engine(target=args.arch)
     start = time.perf_counter()
     with engine.serve(workers=args.workers, queue_depth=args.queue_depth,
                       default_deadline=args.deadline) as host:
-        responses = host.run_batch(requests)
+        pending: list[ModuleRequest] = []
+
+        def flush() -> None:
+            if pending:
+                responses.extend(host.run_batch(pending))
+                pending.clear()
+
+        for index, spec in enumerate(spec_list):
+            if "register" in spec:
+                flush()
+                if "path" in spec:
+                    host.register_module(
+                        spec["register"],
+                        _object_from_path(spec["path"], args.opt))
+                elif "source" in spec:
+                    host.register_module(spec["register"], spec["source"])
+                else:
+                    print(f"omnicc: serve: register action {index} "
+                          f"needs 'path' or 'source'", file=sys.stderr)
+                    return 2
+                continue
+            if "revoke" in spec:
+                flush()
+                host.revoke_module(spec["revoke"])
+                continue
+            program: LinkedProgram | str | None = None
+            modules = None
+            if "modules" in spec:
+                modules = list(spec["modules"])
+            elif "path" in spec:
+                if spec["path"] not in programs:
+                    programs[spec["path"]] = _program_from_path(
+                        spec["path"], args.opt)
+                program = programs[spec["path"]]
+            elif "source" in spec:
+                program = spec["source"]
+            else:
+                print(f"omnicc: serve: request {index} has neither "
+                      f"'path', 'source', nor 'modules'", file=sys.stderr)
+                return 2
+            quota = RequestQuota(
+                fuel=spec.get("fuel", RequestQuota.fuel),
+                segment_size=spec.get("segment_size"),
+                max_output_bytes=spec.get(
+                    "max_output_bytes", RequestQuota.max_output_bytes),
+            )
+            base_id = spec.get("id", f"{index}")
+            repeat = int(spec.get("repeat", 1))
+            for clone in range(repeat):
+                pending.append(ModuleRequest(
+                    program=program,
+                    modules=modules,
+                    target=spec.get("arch"),
+                    entry=spec.get("entry"),
+                    deadline_seconds=spec.get("deadline_seconds"),
+                    quota=quota,
+                    request_id=(base_id if repeat == 1
+                                else f"{base_id}#{clone}"),
+                ))
+        flush()
     elapsed = time.perf_counter() - start
 
     summary = {
@@ -423,6 +521,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("module", help="source file, .oof object, or .oom module")
     p.add_argument("--arch", default="omnivm",
                    choices=("omnivm",) + tuple(ARCHITECTURES))
+    p.add_argument("--link", action="append", default=[],
+                   metavar="PATH",
+                   help="dynamically link against this library module "
+                        "(repeatable); each module keeps its own SFI "
+                        "policy and cross-module calls go through "
+                        "checked trampolines")
     p.add_argument("--no-sfi", action="store_true")
     p.add_argument("--engine", default="threaded",
                    choices=("threaded", "legacy"),
@@ -512,13 +616,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Distinct exit statuses for the dynamic-link error family, so scripts
+#: driving the CLI can react to (say) a revoked dependency without
+#: parsing stderr.  Any other pipeline error still exits 1.
+LINK_EXIT_CODES = {
+    UnresolvedImportError: 4,
+    ModuleCycleError: 5,
+    ModuleRevokedError: 6,
+    CrossModuleViolation: 7,
+    DuplicateExportError: 8,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
     except ReproError as err:
         print(f"omnicc: error: {err}", file=sys.stderr)
-        return 1
+        return LINK_EXIT_CODES.get(type(err), 1)
     except FileNotFoundError as err:
         print(f"omnicc: {err}", file=sys.stderr)
         return 1

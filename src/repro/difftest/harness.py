@@ -22,7 +22,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.engine import ARCHITECTURES, Engine, INTERPRETER
+from repro.engine import ARCHITECTURES, Engine, INTERPRETER, RunConfig
 from repro.errors import (
     AccessViolation,
     FuelExhausted,
@@ -188,8 +188,9 @@ def run_one(
     """
     if executor != INTERPRETER:
         fuel *= TARGET_FUEL_FACTOR
-    module = engine.load(program, target=executor, fuel=fuel,
-                         segment_size=segment_size)
+    module = engine.load(program, target=executor,
+                         config=RunConfig(fuel=fuel,
+                                          segment_size=segment_size))
     try:
         code = module.run()
     except VMTrap as trap:

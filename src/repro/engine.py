@@ -32,18 +32,27 @@ unchanged behaviour.
 
 from __future__ import annotations
 
+import warnings
 from contextlib import nullcontext
+from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, Sequence
 
 from repro import metrics
 from repro.cache import TranslationCache
-from repro.compiler import CompileOptions, compile_and_link
+from repro.compiler import CompileOptions, compile_and_link, compile_to_object
 from repro.native.profiles import MOBILE_SFI, PROFILES
 from repro.omnivm.linker import LinkedProgram
 from repro.omnivm.objfile import ObjectModule
 from repro.runtime.host import Host
-from repro.runtime.loader import LoadedModule, load_for_interpretation
-from repro.runtime.native_loader import NativeModule, load_for_target
+from repro.runtime.linker import (
+    LinkedImage,
+    ModuleDef,
+    ModuleRegistry,
+    dynamic_link,
+)
+from repro.runtime.loader import LoadedModule, load_module
+from repro.runtime.native_loader import NativeModule
+from repro.sfi.policy import DEFAULT_POLICY, SandboxPolicy
 from repro.translators import ARCHITECTURES, translate
 from repro.translators.base import TranslatedModule, TranslationOptions
 
@@ -52,6 +61,59 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Pseudo-target naming the reference interpreter.
 INTERPRETER = "omnivm"
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How to execute a load/run: everything that is not *what* to run.
+
+    Replaces the former kwarg sprawl on :meth:`Engine.load` /
+    :meth:`Engine.run` (``fuel=``, ``segment_size=``, ``engine=``,
+    ``verify=``, ``host=``); those keywords still work through a
+    deprecation shim.  ``None`` fields mean "the engine's / loader's
+    default".
+    """
+
+    fuel: int | None = None
+    segment_size: int | None = None
+    engine: str | None = None
+    verify: bool = True
+    host: Host | None = None
+
+    def merged(self, **overrides) -> "RunConfig":
+        """A copy with the given fields replaced (unknown names raise)."""
+        known = {f.name for f in fields(RunConfig)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise TypeError(f"unknown RunConfig fields: {sorted(unknown)}")
+        return replace(self, **overrides)
+
+
+#: Legacy Engine.load/run keywords the deprecation shim accepts.
+_LEGACY_KEYS = ("host", "verify", "fuel", "segment_size", "engine")
+
+
+def _coerce_config(method: str, config, legacy: dict) -> RunConfig:
+    """Fold deprecated keyword arguments into a :class:`RunConfig`.
+
+    Accepts a :class:`~repro.runtime.host.Host` where the config is
+    expected (the pre-RunConfig positional ``host`` slot)."""
+    if isinstance(config, Host):
+        legacy.setdefault("host", config)
+        config = None
+    unknown = set(legacy) - set(_LEGACY_KEYS)
+    if unknown:
+        raise TypeError(
+            f"{method}() got unexpected keyword arguments {sorted(unknown)}"
+        )
+    if legacy:
+        warnings.warn(
+            f"{method}({', '.join(sorted(legacy))}=...) is deprecated; "
+            f"pass config=RunConfig(...)",
+            DeprecationWarning, stacklevel=3,
+        )
+        config = (config or RunConfig()).merged(**legacy)
+    return config or RunConfig()
 
 
 class Engine:
@@ -92,6 +154,7 @@ class Engine:
         compile_options: CompileOptions | None = None,
         collect_metrics: bool = True,
         execution_engine: str = "threaded",
+        registry: ModuleRegistry | None = None,
     ):
         from repro.runtime.loader import _check_engine
 
@@ -111,6 +174,7 @@ class Engine:
         self.metrics: metrics.MetricsCollector | None = (
             metrics.MetricsCollector() if collect_metrics else None
         )
+        self.registry = registry if registry is not None else ModuleRegistry()
 
     # -- internals ------------------------------------------------------------
 
@@ -168,6 +232,16 @@ class Engine:
         arch = self._resolve_target(target)
         opts = self._resolve_options(options)
         with self._collecting():
+            if getattr(program, "modules", None):
+                # Multi-module image: per-module translation units,
+                # individually cached and SFI-verified, then spliced
+                # (see repro.runtime.linker.translate_image).
+                from repro.omnivm.verifier import verify_program
+                from repro.runtime.linker import translate_image
+
+                verify_program(program)
+                return translate_image(program, arch, opts,
+                                       cache=self.cache)
             if self.cache is not None:
                 cached = self.cache.get(program, arch, opts)
                 if cached is not None:
@@ -193,38 +267,34 @@ class Engine:
         program: LinkedProgram,
         target: str | None = None,
         options: TranslationOptions | str | None = None,
-        host: Host | None = None,
-        verify: bool = True,
-        fuel: int | None = None,
-        segment_size: int | None = None,
-        engine: str | None = None,
+        config: RunConfig | None = None,
+        **legacy,
     ) -> LoadedModule | NativeModule:
         """Verify and load *program* for execution: a
         :class:`NativeModule` for a translated target, a
         :class:`LoadedModule` for the interpreter.
 
-        ``fuel`` bounds dynamic instructions (loader defaults apply when
-        None); ``segment_size`` shrinks the module address space (used
-        by the differential tester to keep memory digests cheap);
-        ``engine`` overrides the engine-wide execution loop
-        (``"threaded"``/``"legacy"``) for this load.
+        *config* carries the execution parameters (:class:`RunConfig`:
+        fuel, segment size, execution engine, verification toggle, host
+        services).  The former ``host=``/``verify=``/``fuel=``/
+        ``segment_size=``/``engine=`` keywords still work via a
+        deprecation shim (a bare :class:`~repro.runtime.host.Host` in
+        the config slot is treated as ``host=`` for old positional
+        callers).
         """
+        config = _coerce_config("Engine.load", config, legacy)
         arch = self._resolve_target(target)
-        extra: dict = {}
-        if fuel is not None:
-            extra["fuel"] = fuel
-        if segment_size is not None:
-            extra["segment_size"] = segment_size
-        extra["engine"] = engine if engine is not None \
-            else self.execution_engine
         with self._collecting():
-            if arch == INTERPRETER:
-                return load_for_interpretation(
-                    program, host, verify=verify, cache=self.cache,
-                    **extra)
-            return load_for_target(
-                program, arch, self._resolve_options(options), host,
-                verify=verify, cache=self.cache, **extra,
+            return load_module(
+                program,
+                None if arch == INTERPRETER else arch,
+                options=self._resolve_options(options),
+                host=config.host,
+                verify=config.verify,
+                fuel=config.fuel,
+                segment_size=config.segment_size,
+                engine=config.engine or self.execution_engine,
+                cache=self.cache,
             )
 
     def run(
@@ -233,29 +303,109 @@ class Engine:
         target: str | None = None,
         options: TranslationOptions | str | None = None,
         entry: str | None = None,
-        host: Host | None = None,
-        verify: bool = True,
-        fuel: int | None = None,
-        segment_size: int | None = None,
-        engine: str | None = None,
+        config: RunConfig | None = None,
+        **legacy,
     ) -> tuple[int, LoadedModule | NativeModule]:
         """Compile (when given source text), load, and execute; returns
         ``(exit code, loaded module)``.  The module exposes ``.host``
         for the program's emitted output.
 
-        ``verify``, ``fuel``, ``segment_size``, and ``engine`` are
-        forwarded to :meth:`load`, so a bounded (or unverified, or
+        *config* is forwarded to :meth:`load` (same deprecation shim for
+        the old keyword arguments), so a bounded (or unverified, or
         legacy-loop) run no longer needs to hand-roll the
         compile/load/run sequence.
         """
+        config = _coerce_config("Engine.run", config, legacy)
         if not isinstance(program, LinkedProgram):
             program = self.compile(program)
-        module = self.load(program, target, options, host, verify=verify,
-                           fuel=fuel, segment_size=segment_size,
-                           engine=engine)
+        module = self.load(program, target, options, config=config)
         with self._collecting():
             code = module.run(entry)
         return code, module
+
+    # -- dynamic linking ------------------------------------------------------
+
+    def register_module(
+        self,
+        name: str,
+        module: "ObjectModule | str",
+        policy: SandboxPolicy = DEFAULT_POLICY,
+    ) -> ModuleDef:
+        """Register (or reload) a named module in the engine's
+        :class:`~repro.runtime.linker.ModuleRegistry`.
+
+        *module* is an :class:`~repro.omnivm.objfile.ObjectModule` or
+        MiniC source text (compiled as one translation unit; ``extern``
+        declarations become imports).  Reloading bumps the module's
+        epoch and drops the previous definition's cached translation
+        chunks, so the next link translates the new content while other
+        modules keep hitting the cache.
+        """
+        if isinstance(module, str):
+            options = replace(self.compile_options, module_name=name)
+            with self._collecting():
+                module = compile_to_object(module, options)
+        previous = self.registry.lookup(name)
+        definition = self.registry.register(name, module, policy)
+        if previous is not None:
+            self._drop_chunks(previous)
+        return definition
+
+    def revoke_module(self, name: str) -> ModuleDef:
+        """Revoke *name*: new links against it fail with
+        :class:`~repro.errors.ModuleRevokedError`, its cached
+        translation chunks are dropped, and in-flight executions of
+        already-linked images run to completion (their code was spliced
+        at link time)."""
+        definition = self.registry.revoke(name)
+        self._drop_chunks(definition)
+        return definition
+
+    def _drop_chunks(self, definition: ModuleDef) -> None:
+        if self.cache is None:
+            return
+        for digest in definition.chunk_digests:
+            self.cache.invalidate(digest=digest)
+        definition.chunk_digests.clear()
+
+    def link_modules(
+        self,
+        modules: Sequence[str],
+        entry: str = "main",
+        name: str | None = None,
+    ) -> LinkedImage:
+        """Dynamically link registered modules (plus their import
+        closure) into a :class:`~repro.runtime.linker.LinkedImage`."""
+        with self._collecting():
+            return dynamic_link(self.registry, list(modules),
+                                entry_symbol=entry, name=name)
+
+    def load_program(
+        self,
+        modules: Sequence["str | ObjectModule"],
+        entry: str = "main",
+        target: str | None = None,
+        options: TranslationOptions | str | None = None,
+        config: RunConfig | None = None,
+    ) -> LoadedModule | NativeModule:
+        """Link a multi-module program and load it for execution.
+
+        *modules* mixes registered module names and
+        :class:`~repro.omnivm.objfile.ObjectModule` values (the latter
+        are registered under their object name first).  The listed
+        modules are the link roots; imports pull in the rest of the
+        closure from the registry.  The returned module runs with
+        cross-module calls resolved through SFI-checked trampolines.
+        """
+        roots: list[str] = []
+        for module in modules:
+            if isinstance(module, ObjectModule):
+                self.register_module(module.name, module)
+                roots.append(module.name)
+            else:
+                roots.append(module)
+        image = self.link_modules(roots, entry=entry)
+        return self.load(image, target, options, config=config)
 
     def serve(self, **kwargs) -> "ModuleHost":
         """Create a :class:`~repro.service.ModuleHost` fronting this
@@ -303,4 +453,4 @@ class Engine:
             self.metrics.reset()
 
 
-__all__ = ["ARCHITECTURES", "Engine", "INTERPRETER"]
+__all__ = ["ARCHITECTURES", "Engine", "INTERPRETER", "RunConfig"]

@@ -85,8 +85,78 @@ class LinkError(ReproError):
     """Unresolved or duplicate symbols, section overflow, etc."""
 
 
+class DynamicLinkError(LinkError):
+    """Base class for errors resolving imports/exports across separately
+    translated modules at load time (:mod:`repro.runtime.linker`).
+
+    Subclasses :class:`LinkError` so callers that already handle static
+    link failures keep working, while the service and CLI can map the
+    dynamic-link cases to distinct counters and exit codes.
+    """
+
+
+class UnresolvedImportError(DynamicLinkError):
+    """A module imports a symbol that no registered module exports."""
+
+    def __init__(self, symbol: str, importer: str = ""):
+        self.symbol = symbol
+        self.importer = importer
+        message = f"unresolved import {symbol!r}"
+        if importer:
+            message += f" (required by module {importer!r})"
+        super().__init__(message)
+
+
+class DuplicateExportError(DynamicLinkError):
+    """Two modules in the same link closure export the same symbol."""
+
+    def __init__(self, symbol: str, modules: tuple[str, ...] = ()):
+        self.symbol = symbol
+        self.modules = tuple(modules)
+        message = f"duplicate export {symbol!r}"
+        if self.modules:
+            message += f" (exported by modules {', '.join(self.modules)})"
+        super().__init__(message)
+
+
+class ModuleCycleError(DynamicLinkError):
+    """The import graph of a link closure contains a cycle, so no
+    canonical dependencies-first layout exists."""
+
+    def __init__(self, cycle: tuple[str, ...] = ()):
+        self.cycle = tuple(cycle)
+        message = "import cycle between modules"
+        if self.cycle:
+            message += ": " + " -> ".join(self.cycle + (self.cycle[0],))
+        super().__init__(message)
+
+
+class ModuleRevokedError(DynamicLinkError):
+    """A link closure references a module that has been revoked from the
+    registry (or an image built against a now-revoked module epoch)."""
+
+    def __init__(self, name: str, epoch: int | None = None):
+        self.name = name
+        self.epoch = epoch
+        message = f"module {name!r} has been revoked"
+        if epoch is not None:
+            message += f" (epoch {epoch})"
+        super().__init__(message)
+
+
 class VerifyError(ReproError):
     """A module failed load-time verification."""
+
+
+class CrossModuleViolation(VerifyError):
+    """A module references another module's code other than through an
+    exported symbol (direct jump/call into a non-exported address, or a
+    materialized code pointer crossing the module boundary)."""
+
+    def __init__(self, message: str, module: str = "", target: int = 0):
+        super().__init__(message)
+        self.module = module
+        self.target = target
 
 
 class TranslationError(ReproError):

@@ -25,8 +25,7 @@ from pathlib import Path
 from repro import metrics
 from repro.cache import TranslationCache
 from repro.native import profiles
-from repro.runtime.loader import load_for_interpretation
-from repro.runtime.native_loader import load_for_target
+from repro.runtime.loader import load_module
 from repro.workloads import suite
 
 ARCHS = ("mips", "sparc", "ppc", "x86")
@@ -181,7 +180,7 @@ class Runner:
         omni = self.omni_instret(key.workload, key.num_regs)
         if key.arch == "omnivm":
             with metrics.collect() as collector:
-                loaded = load_for_interpretation(program)
+                loaded = load_module(program)
                 loaded.run()
             if not suite.check_output(key.workload, loaded.host.output_values()):
                 raise AssertionError(
@@ -192,8 +191,8 @@ class Runner:
                              stage_seconds=dict(collector.stage_seconds))
         options = profiles.PROFILES[key.profile]
         with metrics.collect() as collector:
-            module = load_for_target(program, key.arch, options,
-                                     cache=self.translation_cache)
+            module = load_module(program, key.arch, options,
+                                 cache=self.translation_cache)
             module.run()
         if not suite.check_output(key.workload, module.host.output_values()):
             raise AssertionError(
@@ -227,7 +226,7 @@ class Runner:
             self._memory[key] = result
             return result.instret
         program = suite.build(workload, num_regs=num_regs)
-        loaded = load_for_interpretation(program)
+        loaded = load_module(program)
         loaded.run()
         if not suite.check_output(workload, loaded.host.output_values()):
             raise AssertionError(f"{workload}: interpreter output mismatch")

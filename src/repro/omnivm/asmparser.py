@@ -102,6 +102,10 @@ class _Assembler:
         elif name == ".globl" or name == ".global":
             for symbol in rest.replace(",", " ").split():
                 self.globals.add(symbol)
+        elif name == ".import":
+            for symbol in rest.replace(",", " ").split():
+                if symbol not in self.obj.imports:
+                    self.obj.imports.append(symbol)
         elif name == ".word":
             for item in _split_args(rest):
                 if item.startswith("@"):

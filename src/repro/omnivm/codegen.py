@@ -830,6 +830,7 @@ def generate_object(
         for index, func in enumerate(module.functions):
             emitter = FunctionEmitter(func, obj, regfile, index)
             emitter.run()
+    obj.declare_imports()
     if metrics.active():
         metrics.count("codegen.omni_instrs", len(obj.text))
     return obj

@@ -35,6 +35,15 @@ class LinkedProgram:
     #: name -> (first instruction index, one-past-last index)
     function_ranges: dict[str, tuple[int, int]] = field(default_factory=dict)
     entry_symbol: str = "main"
+    #: Index of the first instruction within the code segment.  The
+    #: static linker always produces base 0; the dynamic link-loader
+    #: builds per-module translation units whose text starts deeper in
+    #: the segment (``symbols``/``function_ranges`` use absolute
+    #: addresses/indices either way).
+    base_index: int = 0
+    #: OmniVM byte addresses of control-transfer targets that live in
+    #: *other* modules of a dynamic link.  Empty for whole programs.
+    extern_addrs: frozenset[int] = frozenset()
 
     @property
     def entry_address(self) -> int:
@@ -53,7 +62,7 @@ class LinkedProgram:
         return self.symbols[symbol]
 
     def instr_index_for_address(self, address: int) -> int:
-        offset = address - CODE_BASE
+        offset = address - (CODE_BASE + self.base_index * INSTR_SIZE)
         if offset % INSTR_SIZE != 0 or not (
             0 <= offset < len(self.instrs) * INSTR_SIZE
         ):

@@ -10,7 +10,12 @@ module.  It contains:
 * a **data** section: raw initialized bytes plus address relocations;
 * a **symbol table**: exported (global) and local definitions, each
   naming a section and offset;
-* a **bss** size: zero-initialized space appended after data at link time.
+* a **bss** size: zero-initialized space appended after data at link time;
+* an **import list**: symbols this module expects some other module to
+  export.  The static linker treats them like any other undefined
+  reference; the dynamic link-loader (:mod:`repro.runtime.linker`) uses
+  them to build the inter-module dependency graph and the per-module
+  trampoline table.
 
 Object files serialize to a compact binary form (magic ``OOF1``) so the
 test suite can round-trip them and examples can ship them between
@@ -56,10 +61,17 @@ class ObjectModule:
     bss_size: int = 0
     symbols: list[SymbolDef] = field(default_factory=list)
     data_relocs: list[DataReloc] = field(default_factory=list)
+    imports: list[str] = field(default_factory=list)
 
     def define(self, name: str, section: str, offset: int,
                is_global: bool = True) -> None:
         self.symbols.append(SymbolDef(name, section, offset, is_global))
+
+    def declare_imports(self) -> None:
+        """Record every currently-undefined reference as a declared
+        import (idempotent; preserves previously declared names)."""
+        merged = set(self.imports) | self.undefined_symbols()
+        self.imports = sorted(merged)
 
     def symbol_map(self) -> dict[str, SymbolDef]:
         return {s.name: s for s in self.symbols}
@@ -99,6 +111,11 @@ class ObjectModule:
         for reloc in self.data_relocs:
             out += struct.pack("<I", reloc.offset)
             out += _pack_str(reloc.symbol)
+        # Import list: a trailing section so pre-import blobs (which end
+        # exactly after the relocation table) still decode.
+        out += struct.pack("<I", len(self.imports))
+        for name in self.imports:
+            out += _pack_str(name)
         return bytes(out)
 
     @classmethod
@@ -149,6 +166,11 @@ class ObjectModule:
             cursor[0] += 4
             symbol = _unpack_str(blob, cursor)
             module.data_relocs.append(DataReloc(offset, symbol))
+        if cursor[0] < len(blob):  # import list absent in older blobs
+            (import_count,) = struct.unpack_from("<I", blob, cursor[0])
+            cursor[0] += 4
+            for _ in range(import_count):
+                module.imports.append(_unpack_str(blob, cursor))
         return module
 
 

@@ -36,13 +36,23 @@ def verify_program(program: LinkedProgram) -> None:
 
 
 def _verify_program(program: LinkedProgram) -> None:
+    # A per-module dynamic-link translation unit occupies a window deeper
+    # in the code segment (base_index > 0) and may name control targets
+    # in *other* modules (extern_addrs); both default to the
+    # whole-program case.
+    base_index = getattr(program, "base_index", 0)
+    extern_addrs = getattr(program, "extern_addrs", frozenset())
     code_size = len(program.instrs) * INSTR_SIZE
-    if code_size > DEFAULT_SEGMENT_SIZE:
+    if base_index * INSTR_SIZE + code_size > DEFAULT_SEGMENT_SIZE:
         raise VerifyError("code image exceeds the code segment")
     if len(program.data_image) > DEFAULT_SEGMENT_SIZE:
         raise VerifyError("data image exceeds the data segment")
-    code_lo = CODE_BASE
-    code_hi = CODE_BASE + code_size
+    code_lo = CODE_BASE + base_index * INSTR_SIZE
+    code_hi = code_lo + code_size
+    segment_hi = CODE_BASE + DEFAULT_SEGMENT_SIZE
+    for addr in extern_addrs:
+        if not CODE_BASE <= addr < segment_hi or addr % INSTR_SIZE:
+            raise VerifyError(f"bad extern target {addr:#x}")
     for index, instr in enumerate(program.instrs):
         spec = SPEC_BY_NAME.get(instr.op)
         if spec is None:
@@ -56,7 +66,8 @@ def _verify_program(program: LinkedProgram) -> None:
             )
         if spec.kind in ("branch", "branchi", "jump", "call"):
             target = instr.imm & 0xFFFFFFFF
-            if not code_lo <= target < code_hi:
+            if not code_lo <= target < code_hi and \
+                    target not in extern_addrs:
                 raise VerifyError(
                     f"instruction {index}: control target {target:#x} "
                     f"outside code segment"
@@ -77,7 +88,14 @@ def _verify_program(program: LinkedProgram) -> None:
     # Data relocations were applied by the linker; spot-check symbols point
     # into the module's own segments.
     for name, address in program.symbols.items():
-        in_code = code_lo <= address < CODE_BASE + DEFAULT_SEGMENT_SIZE
+        in_code = CODE_BASE <= address < CODE_BASE + DEFAULT_SEGMENT_SIZE
         in_data = DATA_BASE <= address < DATA_BASE + DEFAULT_SEGMENT_SIZE
         if not (in_code or in_data):
             raise VerifyError(f"symbol {name!r} outside module segments")
+    # Multi-module images additionally verify that every cross-module
+    # reference lands on an exported symbol (the hook avoids an import
+    # cycle with repro.runtime.linker, which defines the image type).
+    cross_module = getattr(program, "verify_cross_module", None)
+    if cross_module is not None:
+        with metrics.stage("verify.cross_module"):
+            cross_module()

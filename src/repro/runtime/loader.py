@@ -110,7 +110,12 @@ def load_for_interpretation(
     _check_engine(engine)
     if verify:
         verify_program(program)
-    if segment_size is not None:
+    if getattr(program, "modules", None):
+        # Multi-module image: per-module data segments.
+        from repro.runtime.linker import image_memory
+
+        memory = image_memory(program)
+    elif segment_size is not None:
         memory = standard_module_memory(
             program.text_image, bytes(program.data_image),
             segment_size=segment_size,
@@ -148,3 +153,44 @@ def run_module(program: LinkedProgram, entry: str | None = None,
     loaded = load_for_interpretation(program, host, engine=engine)
     code = loaded.run(entry)
     return code, loaded.host
+
+
+#: Architecture names :func:`load_module` routes to the interpreter.
+INTERPRETER_ARCHS = (None, "omnivm", "interp")
+
+
+def load_module(
+    program: LinkedProgram,
+    arch: str | None = None,
+    options=None,
+    host: Host | None = None,
+    verify: bool = True,
+    fuel: int | None = None,
+    segment_size: int | None = None,
+    engine: str = "threaded",
+    cache: "TranslationCache | None" = None,
+):
+    """The one loader entry point: load *program* for *arch*.
+
+    ``arch`` of ``None``/``"omnivm"``/``"interp"`` selects the reference
+    interpreter (returning a :class:`LoadedModule`); any translator
+    architecture name selects native execution (returning a
+    :class:`~repro.runtime.native_loader.NativeModule`).  Both results
+    expose the same ``run(entry)`` / ``host`` / ``memory`` interface, so
+    call sites no longer special-case the interpreter.  *options* is
+    ignored by the interpreter path; *fuel* of ``None`` applies each
+    path's historical default (200M interpreted, 500M native).
+    """
+    if arch in INTERPRETER_ARCHS:
+        return load_for_interpretation(
+            program, host=host, verify=verify,
+            fuel=200_000_000 if fuel is None else fuel,
+            segment_size=segment_size, engine=engine, cache=cache,
+        )
+    from repro.runtime.native_loader import load_for_target
+
+    return load_for_target(
+        program, arch, options=options, host=host, verify=verify,
+        fuel=500_000_000 if fuel is None else fuel,
+        segment_size=segment_size, engine=engine, cache=cache,
+    )

@@ -110,23 +110,40 @@ def load_for_target(
     from repro.runtime.loader import _check_engine
 
     _check_engine(engine)
-    translated = cache.get(program, arch, options) if cache is not None \
-        else None
-    if translated is None:
+    is_image = bool(getattr(program, "modules", None))
+    if is_image:
+        # Multi-module image: verify the whole image (including the
+        # cross-module export checks), then translate per module — each
+        # unit is content-addressed in the cache and SFI-verified under
+        # its own policy, so only the splice is paid per load.  The
+        # spliced whole is deliberately *not* cached: its chunks are,
+        # and those are what module revocation invalidates.
+        from repro.runtime.linker import image_memory, translate_image
+
         if verify:
             verify_program(program)
-        translated = translate(program, arch, options)
-        if verify:
-            from repro.sfi.verifier import verify_sfi
+        translated = translate_image(program, arch, options,
+                                     cache=cache, verify=verify)
+        if memory is None:
+            memory = image_memory(program)
+    else:
+        translated = cache.get(program, arch, options) \
+            if cache is not None else None
+        if translated is None:
+            if verify:
+                verify_program(program)
+            translated = translate(program, arch, options)
+            if verify:
+                from repro.sfi.verifier import verify_sfi
 
-            # Run the CFG verifier on every translation, not just SFI
-            # ones: without an SFI sandbox claim it enforces nothing,
-            # but it still recovers the CFG (catching malformed
-            # translator output early) and feeds the verify.sfi.*
-            # metrics uniformly.
-            verify_sfi(translated)
-        if cache is not None:
-            cache.put(program, arch, options, translated)
+                # Run the CFG verifier on every translation, not just
+                # SFI ones: without an SFI sandbox claim it enforces
+                # nothing, but it still recovers the CFG (catching
+                # malformed translator output early) and feeds the
+                # verify.sfi.* metrics uniformly.
+                verify_sfi(translated)
+            if cache is not None:
+                cache.put(program, arch, options, translated)
     if memory is None:
         if segment_size is not None:
             memory = standard_module_memory(

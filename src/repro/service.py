@@ -80,17 +80,25 @@ import time
 from dataclasses import dataclass, field
 
 from repro import metrics
-from repro.engine import INTERPRETER, Engine
+from repro.engine import INTERPRETER, Engine, RunConfig
 from repro.errors import (
+    CrossModuleViolation,
     DeadlineExceeded,
+    DuplicateExportError,
+    DynamicLinkError,
     FuelExhausted,
+    ModuleCycleError,
+    ModuleRevokedError,
     QuotaExceeded,
     ReproError,
     ServiceOverloaded,
     TransientFault,
+    UnresolvedImportError,
 )
 from repro.omnivm.linker import LinkedProgram
+from repro.omnivm.objfile import ObjectModule
 from repro.runtime.host import Host
+from repro.sfi.policy import DEFAULT_POLICY, SandboxPolicy
 from repro.translators.base import TranslationOptions
 
 __all__ = [
@@ -126,15 +134,24 @@ class RequestQuota:
 
 @dataclass
 class ModuleRequest:
-    """One unit of hosted work: a module (or source text) to execute."""
+    """One unit of hosted work: a module (or source text) to execute.
 
-    program: LinkedProgram | str
+    Either *program* (a linked module or MiniC source) or *modules*
+    (root module names to dynamically link out of the host's registry —
+    see :meth:`ModuleHost.register_module`) must be set, not both.
+    Link failures come back as typed error responses
+    (``UnresolvedImportError``, ``ModuleRevokedError``,
+    ``ModuleCycleError``, ...) with per-kind service counters.
+    """
+
+    program: LinkedProgram | str | None = None
     target: str | None = None  # None = the engine's default target
     options: TranslationOptions | str | None = None
     entry: str | None = None
     deadline_seconds: float | None = None
     quota: RequestQuota = field(default_factory=RequestQuota)
     request_id: str = ""
+    modules: tuple[str, ...] | list[str] | None = None
 
 
 @dataclass
@@ -478,6 +495,17 @@ class PendingRequest:
 #: Sentinel shutting one worker down.
 _SHUTDOWN = object()
 
+#: Dynamic-link failure kinds the service counts individually (on top of
+#: the generic ``service.error``), so operators can tell a revoked
+#: dependency from a genuinely missing one at a glance.
+_LINK_FAILURE_COUNTERS = {
+    CrossModuleViolation: "cross_module_violation",
+    DuplicateExportError: "link_duplicate_export",
+    ModuleCycleError: "link_cycle",
+    ModuleRevokedError: "module_revoked",
+    UnresolvedImportError: "link_unresolved_import",
+}
+
 
 class ModuleHost:
     """A concurrent execution service for mobile modules.
@@ -607,6 +635,26 @@ class ModuleHost:
         pending = [self.submit(request, block=True) for request in requests]
         return [p.result(timeout) for p in pending]
 
+    # -- module management ----------------------------------------------------
+
+    def register_module(self, name: str, module: "ObjectModule | str",
+                        policy: SandboxPolicy = DEFAULT_POLICY):
+        """Register (or hot-reload) a named module in the engine's
+        registry; subsequent ``modules=``-style requests link against
+        it.  Reloading invalidates only that module's cached translation
+        chunks — other modules keep their warm translations."""
+        definition = self.engine.register_module(name, module, policy)
+        self.stats.count("module_register")
+        return definition
+
+    def revoke_module(self, name: str):
+        """Revoke *name*: requests whose link closure needs it fail with
+        a typed ``ModuleRevokedError`` response; in-flight executions of
+        images already linked against it run to completion."""
+        definition = self.engine.revoke_module(name)
+        self.stats.count("module_revoke")
+        return definition
+
     # -- workers --------------------------------------------------------------
 
     def _worker_loop(self) -> None:
@@ -634,9 +682,22 @@ class ModuleHost:
         engine = self.engine
         response = ModuleResponse(request_id=request.request_id, ok=False)
         try:
-            program = request.program
-            if not isinstance(program, LinkedProgram):
-                program = engine.compile(program)
+            if request.modules:
+                if request.program is not None:
+                    raise DynamicLinkError(
+                        "a request takes program= or modules=, not both"
+                    )
+                program: LinkedProgram = engine.link_modules(
+                    list(request.modules), entry=request.entry or "main"
+                )
+            elif request.program is None:
+                raise DynamicLinkError(
+                    "a request needs program= or modules="
+                )
+            else:
+                program = request.program
+                if not isinstance(program, LinkedProgram):
+                    program = engine.compile(program)
             arch = engine._resolve_target(request.target)
             module = None
             host = CappedHost(request.quota.max_output_bytes)
@@ -656,9 +717,12 @@ class ModuleHost:
             response.arch = arch
             if module is None:
                 module = engine.load(
-                    program, arch, request.options, host=host,
-                    fuel=request.quota.fuel,
-                    segment_size=request.quota.segment_size,
+                    program, arch, request.options,
+                    config=RunConfig(
+                        host=host,
+                        fuel=request.quota.fuel,
+                        segment_size=request.quota.segment_size,
+                    ),
                 )
             response.exit_code = self._run_with_deadline(module, request)
             response.ok = True
@@ -675,6 +739,9 @@ class ModuleHost:
             response.error = type(err).__name__
             response.error_message = str(err)
         except ReproError as err:
+            counter = _LINK_FAILURE_COUNTERS.get(type(err))
+            if counter is not None:
+                self.stats.count(counter)
             self.stats.count("error")
             response.error = type(err).__name__
             response.error_message = str(err)
@@ -693,9 +760,12 @@ class ModuleHost:
                 if self.faults is not None:
                     self.faults.on_translate(arch)
                 return self.engine.load(
-                    program, arch, request.options, host=host,
-                    fuel=request.quota.fuel,
-                    segment_size=request.quota.segment_size,
+                    program, arch, request.options,
+                    config=RunConfig(
+                        host=host,
+                        fuel=request.quota.fuel,
+                        segment_size=request.quota.segment_size,
+                    ),
                 )
             except TransientFault:
                 response.retries += 1

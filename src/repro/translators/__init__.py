@@ -47,15 +47,23 @@ def target_spec(arch: str) -> TargetSpec:
 
 
 def make_translator(arch: str,
-                    options: TranslationOptions | None = None) -> BaseTranslator:
+                    options: TranslationOptions | None = None,
+                    policy=None) -> BaseTranslator:
     spec_factory, translator_cls = _lookup(arch)
-    return translator_cls(spec_factory(), options)
+    if policy is None:
+        return translator_cls(spec_factory(), options)
+    return translator_cls(spec_factory(), options, policy)
 
 
 def translate(program, arch: str,
-              options: TranslationOptions | None = None) -> TranslatedModule:
-    """Translate a linked OmniVM program for *arch*."""
-    return make_translator(arch, options).translate(program)
+              options: TranslationOptions | None = None,
+              policy=None) -> TranslatedModule:
+    """Translate a linked OmniVM program for *arch*.
+
+    *policy* optionally overrides the sandbox policy the emitted SFI
+    sequences are checked against (per-module policies in dynamic
+    links); ``None`` keeps each translator's default."""
+    return make_translator(arch, options, policy).translate(program)
 
 
 __all__ = [

@@ -91,6 +91,12 @@ class TranslatedModule:
     omni_to_native: dict[int, int] = field(default_factory=dict)
     entry_native: int = 0
     program: LinkedProgram | None = None
+    #: direct control transfers whose OmniVM target lies outside this
+    #: translation unit (declared via ``program.extern_addrs``): pairs of
+    #: (native instruction index, OmniVM byte address).  Until the
+    #: dynamic link-loader patches them against the full image they are
+    #: emitted as self-loops, so an unpatched chunk can never escape.
+    extern_fixups: list[tuple[int, int]] = field(default_factory=list)
 
     def static_expansion(self) -> dict[str, int]:
         counts: dict[str, int] = {}
@@ -239,8 +245,9 @@ class BaseTranslator:
             module.instrs.extend(block)
             block = []
 
+        base_index = getattr(program, "base_index", 0)
         for index, instr in enumerate(program.instrs):
-            omni_addr = CODE_BASE + index * INSTR_SIZE
+            omni_addr = CODE_BASE + (base_index + index) * INSTR_SIZE
             if omni_addr in boundaries:
                 flush_block()
             omni_start_index[omni_addr] = len(module.instrs) + len(block)
@@ -268,13 +275,22 @@ class BaseTranslator:
         flush_block()
 
         # Pass 2: resolve control targets and build the indirect map.
+        extern_addrs = getattr(program, "extern_addrs", frozenset())
         for addr in entry_points:
             if addr in omni_start_index:
                 module.omni_to_native[addr] = omni_start_index[addr]
-        for native in module.instrs:
+        for native_index, native in enumerate(module.instrs):
             if native.target >= 0:
                 target_native = omni_start_index.get(native.target)
                 if target_native is None:
+                    if native.target in extern_addrs:
+                        # Cross-module target: leave a self-loop and let
+                        # the link-loader patch it after splicing.
+                        module.extern_fixups.append(
+                            (native_index, native.target)
+                        )
+                        native.target = native_index
+                        continue
                     raise TranslationError(
                         f"control target {native.target:#x} not translated"
                     )
@@ -293,27 +309,34 @@ class BaseTranslator:
         patched into data, e.g. function-pointer tables) and code-segment
         ``li`` immediates (covers jump-table labels the linker resolved
         into register loads) — so the map is a superset of what
-        well-formed code needs."""
-        code_hi = CODE_BASE + len(program.instrs) * INSTR_SIZE
+        well-formed code needs.
+
+        For a per-module translation unit (``program.base_index`` > 0 or
+        ``extern_addrs`` non-empty) only addresses *inside* the unit
+        become entry points; foreign branch/call targets are dropped here
+        and resolved by the link-loader against the spliced image."""
+        base_index = getattr(program, "base_index", 0)
+        code_lo = CODE_BASE + base_index * INSTR_SIZE
+        code_hi = code_lo + len(program.instrs) * INSTR_SIZE
         points: set[int] = set()
 
         def add_code_address(address: int) -> None:
-            if CODE_BASE <= address < code_hi and address % INSTR_SIZE == 0:
+            if code_lo <= address < code_hi and address % INSTR_SIZE == 0:
                 points.add(address)
 
         for name, (start, _end) in program.function_ranges.items():
-            points.add(CODE_BASE + start * INSTR_SIZE)
+            add_code_address(CODE_BASE + start * INSTR_SIZE)
         for address in program.symbols.values():
             add_code_address(address)
         for index, instr in enumerate(program.instrs):
             kind = instr.spec.kind
             if kind in ("call", "icall"):
-                points.add(CODE_BASE + (index + 1) * INSTR_SIZE)
+                add_code_address(code_lo + (index + 1) * INSTR_SIZE)
             if kind in ("branch", "branchi", "jump", "call"):
-                points.add(u32(instr.imm))
+                add_code_address(u32(instr.imm))
             elif kind == "li":
                 add_code_address(u32(instr.imm))
-        points.add(program.entry_address)
+        add_code_address(program.entry_address)
         return points
 
     def _block_boundaries(self, program: LinkedProgram) -> set[int]:

@@ -6,7 +6,7 @@ import repro
 from repro import Engine
 from repro.cache import TranslationCache
 from repro.compiler import compile_and_link
-from repro.engine import INTERPRETER
+from repro.engine import INTERPRETER, RunConfig
 from repro.errors import ReproError, UnknownArchitectureError
 from repro.native.profiles import MOBILE_NOSFI, MOBILE_SFI
 from repro.runtime.loader import run_module
@@ -151,21 +151,23 @@ class TestRunForwardsLoadKnobs:
         from repro.errors import FuelExhausted
 
         with pytest.raises(FuelExhausted):
-            Engine(target="mips").run(self.LOOP_SRC, fuel=10_000)
+            Engine(target="mips").run(
+                self.LOOP_SRC, config=RunConfig(fuel=10_000))
 
     def test_fuel_forwarded_to_interpreter_load(self):
         from repro.errors import FuelExhausted
 
         with pytest.raises(FuelExhausted):
-            Engine().run(self.LOOP_SRC, fuel=10_000)
+            Engine().run(self.LOOP_SRC, config=RunConfig(fuel=10_000))
 
     def test_sufficient_fuel_still_completes(self):
-        code, _module = Engine(target="mips").run(SRC, fuel=10_000_000)
+        code, _module = Engine(target="mips").run(
+            SRC, config=RunConfig(fuel=10_000_000))
         assert code == 0
 
     def test_segment_size_forwarded(self):
-        code, module = Engine(target="mips").run(SRC,
-                                                 segment_size=1 << 16)
+        code, module = Engine(target="mips").run(
+            SRC, config=RunConfig(segment_size=1 << 16))
         assert code == 0
         heap = next(segment for segment in module.machine.memory.segments
                     if segment.name == "heap")
@@ -176,7 +178,7 @@ class TestRunForwardsLoadKnobs:
         engine.run(SRC)
         assert engine.metrics.stage_calls["verify.module"] == 1
         engine.reset_stats()
-        engine.run(SRC, verify=False)
+        engine.run(SRC, config=RunConfig(verify=False))
         assert "verify.module" not in engine.metrics.stage_calls
 
 

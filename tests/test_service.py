@@ -15,7 +15,7 @@ import repro
 from repro import metrics
 from repro.cache import TranslationCache
 from repro.compiler import compile_and_link
-from repro.engine import Engine
+from repro.engine import Engine, RunConfig
 from repro.errors import ServiceOverloaded
 from repro.native.profiles import MOBILE_SFI
 from repro.service import (
@@ -204,7 +204,7 @@ class TestQuotas:
         engine = Engine()
         program = engine.compile(EMITTER_SRC)  # 50 ints -> 200 bytes
         host = CappedHost(max_output_bytes=None)
-        module = engine.load(program, host=host)
+        module = engine.load(program, config=RunConfig(host=host))
         module.run()
         assert host.output_bytes == 200
 

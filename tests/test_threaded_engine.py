@@ -36,7 +36,7 @@ from repro.difftest.harness import (
     DEFAULT_SEGMENT_SIZE,
     memory_digest,
 )
-from repro.engine import ARCHITECTURES, Engine, INTERPRETER
+from repro.engine import ARCHITECTURES, Engine, INTERPRETER, RunConfig
 from repro.cache import TranslationCache
 from repro.errors import (
     AccessViolation,
@@ -383,11 +383,12 @@ class TestEnginePlumbing:
         program = straightline_exit()
         module = engine.load(program)
         assert isinstance(module.machine, ThreadedTargetMachine)
-        module = engine.load(program, engine="legacy")
+        module = engine.load(program, config=RunConfig(engine="legacy"))
         assert type(module.machine) is TargetMachine
         module = engine.load(program, target=INTERPRETER)
         assert isinstance(module.vm, ThreadedVM)
-        module = engine.load(program, target=INTERPRETER, engine="legacy")
+        module = engine.load(program, target=INTERPRETER,
+                             config=RunConfig(engine="legacy"))
         assert type(module.vm) is OmniVM
 
         legacy_engine = Engine(target="mips", cache=False,
