@@ -1,16 +1,21 @@
-"""Execution-engine benchmark: legacy dispatch vs. threaded code.
+"""Execution-engine benchmark: legacy dispatch vs. threaded vs. JIT.
 
-Measures dynamic-instruction throughput of both execution loops — the
-legacy per-instruction dispatcher and the predecoded threaded-code
-engine (:mod:`repro.omnivm.threaded` / :mod:`repro.targets.threaded`) —
-for every executor (the reference interpreter plus the four target
-simulators) on the four SPEC-derived workloads, and emits the
-``BENCH_exec_engine.json`` artifact at the repository root.
+Measures dynamic-instruction throughput of the execution tiers — the
+legacy per-instruction dispatcher, the predecoded threaded-code engine
+(:mod:`repro.omnivm.threaded` / :mod:`repro.targets.threaded`), and on
+the reference interpreter the trace-based superblock JIT
+(:mod:`repro.omnivm.jit`) — for every executor (the interpreter plus
+the four target simulators) on the four SPEC-derived workloads, and
+emits the ``BENCH_exec_engine.json`` artifact at the repository root.
 
-Both engines must retire the *same* dynamic instruction count and
+All engines must retire the *same* dynamic instruction count and
 produce the same output (asserted per run), so the comparison is pure
 dispatch overhead: predecoded closures, superinstruction fusion, and
-block-level fuel accounting versus the big-switch loops.
+compiled superblocks versus the big-switch loops.  JIT runs share a
+:class:`~repro.cache.TranslationCache` across repeats, so the best-of-N
+timing reflects warm superblocks — the steady state of a long-running
+module — while the cold compile cost is reported separately as
+``jit_compile_ms``.
 
 The artifact schema is guarded by :func:`validate_artifact`, which the
 tier-1 suite invokes (``tests/test_threaded_engine.py``) so the JSON
@@ -24,6 +29,7 @@ import json
 import time
 from pathlib import Path
 
+from repro.cache import TranslationCache
 from repro.runtime.loader import load_for_interpretation
 from repro.runtime.native_loader import load_for_target
 from repro.translators import ARCHITECTURES
@@ -33,7 +39,7 @@ ARTIFACT_PATH = Path(__file__).resolve().parents[1] / (
     "BENCH_exec_engine.json"
 )
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: The interpreter plus the four target simulators.
 EXECUTORS = ("omnivm",) + ARCHITECTURES
@@ -45,21 +51,35 @@ RESULT_KEYS = frozenset(
      "speedup")
 )
 
+#: additional keys omnivm entries carry for the JIT tier (the JIT is
+#: interpreter-only; native targets fall back to threaded)
+JIT_RESULT_KEYS = frozenset(
+    ("jit_seconds", "jit_instret", "jit_ips", "jit_speedup",
+     "jit_superblocks", "jit_deopts", "jit_compile_ms")
+)
+
 #: Acceptance bars from the issue: threaded must beat legacy by at
 #: least this factor, per executor (geometric mean over workloads).
 MIN_SPEEDUP = {"omnivm": 2.0, "mips": 1.5, "ppc": 1.5, "sparc": 1.5,
                "x86": 1.5}
 
+#: The JIT tier must beat the *threaded* engine by this factor
+#: (geometric mean over workloads, warm superblock cache).
+MIN_JIT_SPEEDUP = {"omnivm": 2.0}
+
 
 def _measure(program, name: str, executor: str, engine: str,
-             repeats: int) -> tuple[float, int]:
+             repeats: int, cache=None) -> tuple[float, int, object]:
     best = None
     instret = None
+    module = None
     for _ in range(repeats):
         if executor == "omnivm":
-            module = load_for_interpretation(program, engine=engine)
+            module = load_for_interpretation(program, engine=engine,
+                                             cache=cache)
         else:
-            module = load_for_target(program, executor, engine=engine)
+            module = load_for_target(program, executor, engine=engine,
+                                     cache=cache)
         gc.collect()
         start = time.perf_counter()
         module.run()
@@ -76,7 +96,7 @@ def _measure(program, name: str, executor: str, engine: str,
                 f"{executor}/{name}/{engine}: instret varies across runs")
         if best is None or elapsed < best:
             best = elapsed
-    return best, instret
+    return best, instret, module
 
 
 def collect_benchmark(
@@ -84,27 +104,29 @@ def collect_benchmark(
     executors: tuple[str, ...] = EXECUTORS,
     repeats: int = 1,
 ) -> dict:
-    """Measure legacy vs. threaded execution for every (executor,
-    workload) pair.  Returns the artifact payload (does not write it).
+    """Measure legacy vs. threaded (vs. JIT on omnivm) execution for
+    every (executor, workload) pair.  Returns the artifact payload
+    (does not write it).
 
-    Each run checks the workload's expected output, and the two engines
+    Each run checks the workload's expected output, and the engines
     must agree on retired dynamic instructions — the threaded engine's
     block-level accounting changes *when* fuel is checked, never the
-    retired count of a completed run.
+    retired count of a completed run, and the JIT's superblocks commit
+    the same counts as the blocks they replace.
     """
     results = []
     for executor in executors:
         for name in workloads:
             program = suite.build(name)
-            legacy_s, legacy_i = _measure(
+            legacy_s, legacy_i, _ = _measure(
                 program, name, executor, "legacy", repeats)
-            threaded_s, threaded_i = _measure(
+            threaded_s, threaded_i, _ = _measure(
                 program, name, executor, "threaded", repeats)
             if legacy_i != threaded_i:
                 raise AssertionError(
                     f"{executor}/{name}: instret diverged "
                     f"({legacy_i} legacy vs {threaded_i} threaded)")
-            results.append({
+            entry = {
                 "workload": name,
                 "executor": executor,
                 "legacy_seconds": legacy_s,
@@ -114,8 +136,32 @@ def collect_benchmark(
                 "legacy_ips": legacy_i / legacy_s,
                 "threaded_ips": threaded_i / threaded_s,
                 "speedup": legacy_s / threaded_s,
-            })
+            }
+            if executor == "omnivm":
+                # Cold run populates the shared cache and pays the
+                # compile cost; the timed repeats then reuse the
+                # compiled superblocks, like a long-running module.
+                cache = TranslationCache()
+                _, _, cold = _measure(
+                    program, name, executor, "jit", 1, cache=cache)
+                jit_s, jit_i, warm = _measure(
+                    program, name, executor, "jit", repeats, cache=cache)
+                if jit_i != threaded_i:
+                    raise AssertionError(
+                        f"{executor}/{name}: instret diverged "
+                        f"({threaded_i} threaded vs {jit_i} jit)")
+                entry.update({
+                    "jit_seconds": jit_s,
+                    "jit_instret": jit_i,
+                    "jit_ips": jit_i / jit_s,
+                    "jit_speedup": threaded_s / jit_s,
+                    "jit_superblocks": cold.vm._superblocks_compiled,
+                    "jit_deopts": warm.vm._jit_deopts,
+                    "jit_compile_ms": cold.vm._jit_compile_ms,
+                })
+            results.append(entry)
     summary = {}
+    jit_summary = {}
     for executor in executors:
         speedups = [r["speedup"] for r in results
                     if r["executor"] == executor]
@@ -123,6 +169,14 @@ def collect_benchmark(
         for value in speedups:
             product *= value
         summary[executor] = product ** (1.0 / len(speedups))
+        jit_speedups = [r["jit_speedup"] for r in results
+                        if r["executor"] == executor
+                        and "jit_speedup" in r]
+        if jit_speedups:
+            product = 1.0
+            for value in jit_speedups:
+                product *= value
+            jit_summary[executor] = product ** (1.0 / len(jit_speedups))
     return {
         "benchmark": "exec_engine",
         "schema_version": SCHEMA_VERSION,
@@ -130,6 +184,7 @@ def collect_benchmark(
         "repeats": repeats,
         "results": results,
         "geomean_speedup": summary,
+        "geomean_jit_over_threaded": jit_summary,
     }
 
 
@@ -152,10 +207,25 @@ def validate_artifact(payload: dict) -> None:
         assert entry["legacy_instret"] == entry["threaded_instret"], (
             "engines disagree on retired instructions")
         assert entry["legacy_instret"] > 0
+        if entry["executor"] == "omnivm":
+            missing = JIT_RESULT_KEYS - entry.keys()
+            assert not missing, (
+                f"omnivm entry missing jit keys: {sorted(missing)}")
+            assert entry["jit_seconds"] > 0
+            assert entry["jit_instret"] == entry["threaded_instret"], (
+                "jit tier disagrees on retired instructions")
+            assert entry["jit_superblocks"] > 0, "jit never compiled"
+            assert entry["jit_compile_ms"] > 0
+            assert entry["jit_deopts"] >= 0
         executors.add(entry["executor"])
     summary = payload.get("geomean_speedup")
     assert isinstance(summary, dict) and set(summary) == executors
     for executor, value in summary.items():
+        assert value > 0
+    jit_summary = payload.get("geomean_jit_over_threaded")
+    assert isinstance(jit_summary, dict)
+    assert set(jit_summary) == (executors & {"omnivm"})
+    for executor, value in jit_summary.items():
         assert value > 0
 
 
@@ -170,15 +240,20 @@ def bench_exec_engine(save_result):
     artifact and enforcing the speedup acceptance bars."""
     payload = collect_benchmark(repeats=3)
     path = write_artifact(payload)
-    lines = ["execution engine: legacy dispatch vs threaded code "
+    lines = ["execution engine: legacy vs threaded vs jit "
              "(dynamic instructions / second)"]
     for entry in payload["results"]:
-        lines.append(
+        line = (
             f"  {entry['executor']:<6} {entry['workload']:<9}"
             f" legacy {entry['legacy_ips'] / 1e3:8.1f}k ips"
             f"   threaded {entry['threaded_ips'] / 1e3:8.1f}k ips"
             f"   speedup {entry['speedup']:5.2f}x"
         )
+        if "jit_ips" in entry:
+            line += (f"   jit {entry['jit_ips'] / 1e3:8.1f}k ips"
+                     f" ({entry['jit_speedup']:.2f}x over threaded,"
+                     f" {entry['jit_superblocks']} superblocks)")
+        lines.append(line)
     for executor, geomean in payload["geomean_speedup"].items():
         bar = MIN_SPEEDUP[executor]
         lines.append(f"  {executor:<6} geomean {geomean:5.2f}x"
@@ -186,5 +261,12 @@ def bench_exec_engine(save_result):
         assert geomean >= bar, (
             f"{executor}: threaded engine {geomean:.2f}x below the "
             f"{bar:.1f}x acceptance bar")
+    for executor, geomean in payload["geomean_jit_over_threaded"].items():
+        bar = MIN_JIT_SPEEDUP[executor]
+        lines.append(f"  {executor:<6} jit-over-threaded geomean "
+                     f"{geomean:5.2f}x  (bar {bar:.1f}x)")
+        assert geomean >= bar, (
+            f"{executor}: jit tier {geomean:.2f}x over threaded, below "
+            f"the {bar:.1f}x acceptance bar")
     save_result("exec_engine", "\n".join(lines))
     print(f"\nartifact: {path}")

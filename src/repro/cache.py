@@ -256,6 +256,18 @@ class TranslationCache:
             metrics.count("cache.predecode_miss")
             return None
 
+    def probe_predecoded(self, key: tuple) -> object | None:
+        """Like :meth:`get_predecoded` but without touching the hit/miss
+        statistics.  The JIT tier probes the side table speculatively —
+        once per block on first dispatch and once per compile — and that
+        traffic would swamp the predecode counters the loaders rely on.
+        """
+        with self._lock:
+            artifact = self._predecoded.get(key)
+            if artifact is not None:
+                self._predecoded.move_to_end(key)
+            return artifact
+
     def put_predecoded(self, key: tuple, artifact: object) -> None:
         """Insert a threaded-engine artifact (memory only; its eviction
         is silent — translation ``stats().evictions`` stays untouched)."""

@@ -528,10 +528,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "policy and cross-module calls go through "
                         "checked trampolines")
     p.add_argument("--no-sfi", action="store_true")
-    p.add_argument("--engine", default="threaded",
-                   choices=("threaded", "legacy"),
-                   help="execution loop: predecoded threaded-code engine "
-                        "(default) or the legacy per-instruction loop")
+    p.add_argument("--engine", default="auto",
+                   choices=("auto", "jit", "threaded", "legacy"),
+                   help="execution loop: auto-tiering (default; superblock "
+                        "JIT on the interpreter), jit, the threaded-code "
+                        "engine, or the legacy per-instruction loop")
     p.add_argument("--cycles", action="store_true",
                    help="print execution statistics to stderr")
     p.add_argument("--stats", action="store_true",

@@ -97,7 +97,10 @@ def _coerce_config(method: str, config, legacy: dict) -> RunConfig:
     """Fold deprecated keyword arguments into a :class:`RunConfig`.
 
     Accepts a :class:`~repro.runtime.host.Host` where the config is
-    expected (the pre-RunConfig positional ``host`` slot)."""
+    expected (the pre-RunConfig positional ``host`` slot).  A field set
+    both on the config *and* as a legacy keyword is a programming error
+    — the old behaviour let the keyword silently win — and raises
+    :class:`TypeError`."""
     if isinstance(config, Host):
         legacy.setdefault("host", config)
         config = None
@@ -107,6 +110,18 @@ def _coerce_config(method: str, config, legacy: dict) -> RunConfig:
             f"{method}() got unexpected keyword arguments {sorted(unknown)}"
         )
     if legacy:
+        if config is not None:
+            defaults = RunConfig()
+            conflicts = sorted(
+                key for key in legacy
+                if getattr(config, key) != getattr(defaults, key)
+            )
+            if conflicts:
+                raise TypeError(
+                    f"{method}() got {', '.join(f'{k}=' for k in conflicts)}"
+                    f" both in config= and as keyword argument(s); set "
+                    f"each field in one place only"
+                )
         warnings.warn(
             f"{method}({', '.join(sorted(legacy))}=...) is deprecated; "
             f"pass config=RunConfig(...)",
@@ -140,10 +155,13 @@ class Engine:
         :class:`~repro.metrics.MetricsCollector` active during every
         engine operation; see :meth:`stats`.
     execution_engine:
-        Default execution loop: ``"threaded"`` (predecoded threaded-code
-        engine with block-level fuel accounting — the default) or
-        ``"legacy"`` (per-instruction dispatch).  :meth:`load` and
-        :meth:`run` accept a per-call ``engine`` override.
+        Default execution loop: ``"auto"`` (the default — the superblock
+        JIT tier on the interpreter, the threaded engine on native
+        targets), ``"jit"`` (same tiering, named explicitly),
+        ``"threaded"`` (predecoded threaded-code engine with block-level
+        fuel accounting), or ``"legacy"`` (per-instruction dispatch).
+        :meth:`load` and :meth:`run` accept a per-call ``engine``
+        override via :class:`RunConfig`.
     """
 
     def __init__(
@@ -153,7 +171,7 @@ class Engine:
         cache: "TranslationCache | None | bool" = None,
         compile_options: CompileOptions | None = None,
         collect_metrics: bool = True,
-        execution_engine: str = "threaded",
+        execution_engine: str = "auto",
         registry: ModuleRegistry | None = None,
     ):
         from repro.runtime.loader import _check_engine

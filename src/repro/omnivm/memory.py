@@ -88,6 +88,9 @@ class Memory:
         #: Incremented on every successful write; tests use it to detect
         #: unexpected mutation.
         self.write_count = 0
+        #: Bumped whenever segment permissions change; the JIT's inline
+        #: memory caches are valid only while this stands still.
+        self.perm_epoch = 0
 
     # -- segment management -------------------------------------------------
 
@@ -115,6 +118,7 @@ class Memory:
     def set_perms(self, name: str, perms: int) -> None:
         """Host-imposed permission change (e.g. revoke write on a page)."""
         self.segment_named(name).perms = perms
+        self.perm_epoch += 1
 
     def find(self, address: int, length: int = 1) -> Segment | None:
         last = self._last

@@ -572,6 +572,8 @@ def _dynamic_link(registry: ModuleRegistry, roots: list[str],
     image.code_export_addrs = frozenset(export_addrs)
     from repro.cache import program_digest
 
+    image_hash = hashlib.sha256(b"linked-image\x00")
+    image_hash.update(f"{image.entry_address}\x00".encode())
     for module_name in order:
         layout = layouts[module_name]
         if layout.text_len:
@@ -581,6 +583,26 @@ def _dynamic_link(registry: ModuleRegistry, roots: list[str],
             # saves re-encoding it on every later cache probe.
             layout.subprogram.digest_hint = digest
             closure[module_name].chunk_digests.add(digest)
+            image_hash.update(f"{module_name}\x00{digest}\x00".encode())
+        else:
+            data_lo = layout.data_base - DATA_BASE
+            image_hash.update(f"{module_name}\x00data\x00".encode())
+            image_hash.update(
+                image.data_image[data_lo:data_lo + layout.data_len])
+            image_hash.update(b"\x00")
+    # The spliced image also leaves content-addressed residue — the
+    # interpreter's predecode artifact and JIT superblocks live under
+    # the *image* digest, not any module chunk's.  The digest is
+    # composed from the per-module chunk digests already in hand (they
+    # cover each module's text slice, data slice, placement, and
+    # foreign targets) rather than re-encoding the spliced image,
+    # which would tax every warm link.  Charge it to every closure
+    # member so revoking (or re-registering) any one of them drops the
+    # whole image's cached execution artifacts.
+    image_digest = image_hash.hexdigest()
+    image.digest_hint = image_digest
+    for module_name in order:
+        closure[module_name].chunk_digests.add(image_digest)
     return image
 
 

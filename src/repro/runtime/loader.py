@@ -38,7 +38,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cache import TranslationCache
 
 #: Execution engines the loaders accept (see ``engine=`` below).
-ENGINES = ("threaded", "legacy")
+#: ``"auto"`` picks the best tier for the executor: the superblock JIT
+#: for the reference interpreter, the threaded engine for native
+#: targets (which have no JIT tier — ``"jit"`` falls back to threaded
+#: there).
+ENGINES = ("auto", "jit", "threaded", "legacy")
 
 
 def _check_engine(engine: str) -> None:
@@ -95,17 +99,20 @@ def load_for_interpretation(
     verify: bool = True,
     fuel: int = 200_000_000,
     segment_size: int | None = None,
-    engine: str = "threaded",
+    engine: str = "auto",
     cache: "TranslationCache | None" = None,
 ) -> LoadedModule:
     """Load *program* into a fresh address space under the reference VM.
 
-    ``engine`` selects the execution loop: ``"threaded"`` (default) runs
-    the predecoded threaded-code engine of :mod:`repro.omnivm.threaded`
-    (block-level fuel accounting, observably identical results);
-    ``"legacy"`` runs the original per-instruction dispatch loop.  With a
-    ``cache``, the threaded engine's predecode artifact is reused across
-    loads of the same program content.
+    ``engine`` selects the execution loop: ``"auto"`` (default) and
+    ``"jit"`` run the tiering VM of :mod:`repro.omnivm.jit` — the
+    threaded engine plus trace-based superblock compilation for hot
+    blocks; ``"threaded"`` runs the predecoded threaded-code engine of
+    :mod:`repro.omnivm.threaded` alone (block-level fuel accounting,
+    observably identical results); ``"legacy"`` runs the original
+    per-instruction dispatch loop.  With a ``cache``, the predecode
+    artifact and compiled superblocks are reused across loads of the
+    same program content.
     """
     _check_engine(engine)
     if verify:
@@ -125,20 +132,28 @@ def load_for_interpretation(
             program.text_image, bytes(program.data_image)
         )
     host = host or Host()
-    if engine == "threaded":
+    if engine != "legacy":
         threaded = None
+        digest = None
         key = None
         if cache is not None:
             from repro.cache import program_digest
 
-            key = ("predecode-omni", program_digest(program))
+            digest = program_digest(program)
+            key = ("predecode-omni", digest)
             threaded = cache.get_predecoded(key)
         if threaded is None:
             threaded = predecode_program(program)
             if cache is not None:
                 cache.put_predecoded(key, threaded)
-        vm: OmniVM = ThreadedVM(program, memory, fuel=fuel,
-                                threaded=threaded)
+        if engine in ("auto", "jit"):
+            from repro.omnivm.jit import JitVM
+
+            vm: OmniVM = JitVM(program, memory, fuel=fuel,
+                               threaded=threaded, cache=cache,
+                               digest=digest)
+        else:
+            vm = ThreadedVM(program, memory, fuel=fuel, threaded=threaded)
     else:
         vm = OmniVM(program, memory, fuel=fuel)
     adapter = _OmniVMAdapter(vm)
@@ -148,7 +163,7 @@ def load_for_interpretation(
 
 def run_module(program: LinkedProgram, entry: str | None = None,
                host: Host | None = None,
-               engine: str = "threaded") -> tuple[int, Host]:
+               engine: str = "auto") -> tuple[int, Host]:
     """Convenience: load, run, and return (exit code, host)."""
     loaded = load_for_interpretation(program, host, engine=engine)
     code = loaded.run(entry)
@@ -167,7 +182,7 @@ def load_module(
     verify: bool = True,
     fuel: int | None = None,
     segment_size: int | None = None,
-    engine: str = "threaded",
+    engine: str = "auto",
     cache: "TranslationCache | None" = None,
 ):
     """The one loader entry point: load *program* for *arch*.

@@ -91,7 +91,7 @@ def load_for_target(
     memory: Memory | None = None,
     cache: "TranslationCache | None" = None,
     segment_size: int | None = None,
-    engine: str = "threaded",
+    engine: str = "auto",
 ) -> NativeModule:
     """Translate *program* for *arch* and prepare it for execution.
 
@@ -100,12 +100,13 @@ def load_for_target(
     verification, translation, and SFI verification entirely (the cached
     code was verified when it entered the cache).
 
-    ``engine`` selects the simulator loop: ``"threaded"`` (default) runs
-    the predecoded block-dispatch engine of
-    :mod:`repro.targets.threaded` (same cycles, registers, and faults;
-    fuel charged per block); ``"legacy"`` runs the original
-    per-instruction loop.  Threaded predecode artifacts are reused
-    through the cache's in-memory side table.
+    ``engine`` selects the simulator loop: ``"threaded"`` runs the
+    predecoded block-dispatch engine of :mod:`repro.targets.threaded`
+    (same cycles, registers, and faults; fuel charged per block);
+    ``"legacy"`` runs the original per-instruction loop.  The superblock
+    JIT tier is interpreter-only, so ``"auto"`` (default) and ``"jit"``
+    select the threaded simulator here.  Threaded predecode artifacts
+    are reused through the cache's in-memory side table.
     """
     from repro.runtime.loader import _check_engine
 
@@ -161,7 +162,7 @@ def load_for_target(
         # multi-cycle compare latency (the paper singles this out as the
         # PPC cc compiler's main edge); model it as fully hidden.
         translated.spec.timing.cmp_latency = 1
-    if engine == "threaded":
+    if engine != "legacy":
         from repro.cache import cache_key
         from repro.targets.threaded import (
             ThreadedTargetMachine,
@@ -205,7 +206,7 @@ def run_on_target(
     options: TranslationOptions | None = None,
     host: Host | None = None,
     cache: "TranslationCache | None" = None,
-    engine: str = "threaded",
+    engine: str = "auto",
 ) -> tuple[int, NativeModule]:
     """Translate, load, run; returns (exit code, loaded module)."""
     module = load_for_target(program, arch, options, host, cache=cache,

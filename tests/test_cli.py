@@ -5,6 +5,13 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.errors import (
+    CrossModuleViolation,
+    DuplicateExportError,
+    ModuleCycleError,
+    ModuleRevokedError,
+    UnresolvedImportError,
+)
 from repro.translators import ARCHITECTURES
 
 HELLO = 'int main() { emit_str("hi\\n"); emit_int(41 + 1); return 0; }'
@@ -217,3 +224,69 @@ class TestServe:
         reqs = self._write_requests(tmp_path, [{"id": "empty"}])
         assert main(["serve", "--requests", str(reqs)]) == 2
         assert "neither" in capsys.readouterr().err
+
+
+class TestLinkErrorExitCodes:
+    """Each typed dynamic-link error maps to its documented exit
+    status, so scripts driving ``omnicc`` can react without parsing
+    stderr (4=unresolved, 5=cycle, 6=revoked, 7=cross-module SFI,
+    8=duplicate export)."""
+
+    @pytest.mark.parametrize("make_error,expected", [
+        (lambda: UnresolvedImportError("f", importer="main"), 4),
+        (lambda: ModuleCycleError(("a", "b")), 5),
+        (lambda: ModuleRevokedError("libmath", 1), 6),
+        (lambda: CrossModuleViolation("stray jump", module="a"), 7),
+        (lambda: DuplicateExportError("f", ("a", "b")), 8),
+    ], ids=["unresolved", "cycle", "revoked", "cross-module",
+            "duplicate"])
+    def test_documented_mapping(self, make_error, expected, tmp_path,
+                                monkeypatch, capsys):
+        import repro.cli as cli
+
+        def boom(args):
+            raise make_error()
+
+        monkeypatch.setattr(cli, "_run_linked", boom)
+        src = tmp_path / "main.c"
+        src.write_text("int main() { return 0; }")
+        lib = tmp_path / "lib.c"
+        lib.write_text("int f(int x) { return x; }")
+        code = main(["run", str(src), "--link", str(lib)])
+        assert code == expected
+        assert "error" in capsys.readouterr().err
+
+    def test_unresolved_import_end_to_end(self, tmp_path, capsys):
+        src = tmp_path / "main.c"
+        src.write_text(
+            "extern int missing(int x);"
+            "int main() { return missing(1); }")
+        lib = tmp_path / "lib.c"
+        lib.write_text("int f(int x) { return x; }")
+        assert main(["run", str(src), "--link", str(lib)]) == 4
+        assert "unresolved import" in capsys.readouterr().err
+
+    def test_duplicate_export_end_to_end(self, tmp_path, capsys):
+        src = tmp_path / "main.c"
+        src.write_text(
+            "extern int f(int x); int main() { return f(1); }")
+        lib_a = tmp_path / "liba.c"
+        lib_a.write_text("int f(int x) { return 1; }")
+        lib_b = tmp_path / "libb.c"
+        lib_b.write_text("int f(int x) { return 2; }")
+        assert main(["run", str(src), "--link", str(lib_a),
+                     "--link", str(lib_b)]) == 8
+        assert "duplicate export" in capsys.readouterr().err
+
+    def test_module_cycle_end_to_end(self, tmp_path, capsys):
+        src = tmp_path / "main.c"
+        src.write_text(
+            "extern int g(int x);"
+            "int f(int x) { return x; }"
+            "int main() { return g(1); }")
+        lib = tmp_path / "lib.c"
+        lib.write_text(
+            "extern int f(int x);"
+            "int g(int x) { return f(x); }")
+        assert main(["run", str(src), "--link", str(lib)]) == 5
+        assert "cycle" in capsys.readouterr().err

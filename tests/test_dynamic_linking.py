@@ -490,3 +490,60 @@ class TestBenchmarkSmoke:
         invalidation = payload["invalidation"]
         assert invalidation["chunk_misses"] == 1
         assert invalidation["chunk_hits"] >= 1
+
+
+class TestExecutionArtifactLifetime:
+    """Revoking (or hot-reloading) any module of a linked image must
+    also drop the image-level execution artifacts — the interpreter's
+    predecode and the JIT's compiled superblocks — from the cache's
+    side table, not just the module's translation chunks."""
+
+    def _image_side_keys(self, engine, digest):
+        return [k for k in engine.cache._predecoded
+                if k[1] == digest and k[0] in ("predecode-omni",
+                                               "jit-omni")]
+
+    def _run_interpreted_hot(self, engine, roots):
+        from repro.engine import INTERPRETER
+
+        module = engine.load_program(roots, target=INTERPRETER)
+        module.vm._jit_heat = 1  # compile superblocks on first dispatch
+        module.run()
+        return module
+
+    def test_revoke_drops_predecode_and_jit_entries(self):
+        engine = make_engine()
+        image = engine.link_modules(["app"])
+        digest = program_digest(image)
+        module = self._run_interpreted_hot(engine, ["app"])
+        assert module.host.output_values() == [30, 21]
+        keys = self._image_side_keys(engine, digest)
+        assert any(k[0] == "predecode-omni" for k in keys)
+        assert any(k[0] == "jit-omni" for k in keys)
+        engine.revoke_module("libmath")
+        assert self._image_side_keys(engine, digest) == []
+
+    def test_reregistration_drops_image_artifacts(self):
+        engine = make_engine()
+        image = engine.link_modules(["app"])
+        digest = program_digest(image)
+        self._run_interpreted_hot(engine, ["app"])
+        assert self._image_side_keys(engine, digest)
+        engine.register_module("libmath", LIB_MATH)  # hot reload
+        assert self._image_side_keys(engine, digest) == []
+
+    def test_revoke_then_relink_runs_new_code(self):
+        """End to end: revoke, re-register with different behavior,
+        relink — the fresh image must execute the new code, never a
+        stale cached artifact of the old image."""
+        engine = make_engine()
+        module = self._run_interpreted_hot(engine, ["app"])
+        assert module.host.output_values() == [30, 21]
+        engine.revoke_module("libmath")
+        engine.register_module(
+            "libmath", """
+            int scale(int x) { return x * 7; }
+            int offset(int x) { return x + 2; }
+        """)
+        module = self._run_interpreted_hot(engine, ["app"])
+        assert module.host.output_values() == [70, 56]

@@ -239,8 +239,10 @@ class TestFuelBoundaries:
 
 
 class TestCrossEngineCorpus:
-    """Fixed-seed generator corpus: bit-exact between the legacy and
-    threaded engines on every executor (the satellite-f pin)."""
+    """Fixed-seed generator corpus: bit-exact between the legacy,
+    threaded, and (on the interpreter) JIT engines on every executor
+    (the satellite-f pin).  JIT runs force the heat threshold to 1 so
+    every dispatched entry actually executes as a compiled superblock."""
 
     SEED = "threaded-regression"
     COUNT = 12
@@ -250,22 +252,28 @@ class TestCrossEngineCorpus:
         for index in range(self.COUNT):
             program = generator.program(index).build()
             for executor in EXECUTORS:
+                engines = (("legacy", "threaded", "jit")
+                           if executor == INTERPRETER
+                           else ("legacy", "threaded"))
                 runs = []
-                for engine in ("legacy", "threaded"):
+                for engine in engines:
                     if executor == INTERPRETER:
                         module = load_for_interpretation(
                             program, fuel=1_000_000,
                             segment_size=DEFAULT_SEGMENT_SIZE,
                             engine=engine)
+                        if engine == "jit":
+                            module.vm._jit_heat = 1
                     else:
                         module = load_for_target(
                             program, executor, fuel=20_000_000,
                             segment_size=DEFAULT_SEGMENT_SIZE,
                             engine=engine)
                     runs.append(observe(module, executor))
-                assert runs[0] == runs[1], (
-                    f"program {index} on {executor}: "
-                    f"{runs[0][:3]} != {runs[1][:3]}")
+                for engine, run in zip(engines[1:], runs[1:]):
+                    assert run == runs[0], (
+                        f"program {index} on {executor}/{engine}: "
+                        f"{runs[0][:3]} != {run[:3]}")
 
 
 class TestWordAccessors:
@@ -481,9 +489,13 @@ class TestBenchmarkSmoke:
         payload = bench.collect_benchmark(
             workloads=("li",), executors=("omnivm", "mips"), repeats=1)
         bench.validate_artifact(payload)
-        assert payload["schema_version"] == bench.SCHEMA_VERSION
+        assert payload["schema_version"] == bench.SCHEMA_VERSION == 2
         assert {r["executor"] for r in payload["results"]} == \
             {"omnivm", "mips"}
+        by_executor = {r["executor"]: r for r in payload["results"]}
+        assert bench.JIT_RESULT_KEYS <= by_executor["omnivm"].keys()
+        assert not bench.JIT_RESULT_KEYS & by_executor["mips"].keys()
+        assert set(payload["geomean_jit_over_threaded"]) == {"omnivm"}
 
     def test_committed_artifact_validates_and_meets_bars(self, bench):
         payload = json.loads(ARTIFACT_PATH.read_text())
@@ -493,3 +505,145 @@ class TestBenchmarkSmoke:
             assert geomean >= bar, (
                 f"{executor}: committed artifact shows {geomean:.2f}x, "
                 f"below the {bar:.1f}x bar")
+        for executor, bar in bench.MIN_JIT_SPEEDUP.items():
+            geomean = payload["geomean_jit_over_threaded"][executor]
+            assert geomean >= bar, (
+                f"{executor}: committed jit tier shows {geomean:.2f}x "
+                f"over threaded, below the {bar:.1f}x bar")
+
+
+class TestSuperblockDeterminism:
+    """Generated superblock source is a pure function of the
+    instruction stream: two independent predecodes of the same program
+    yield byte-identical source at every entry, so cached compiled
+    superblocks are interchangeable across loads."""
+
+    def test_source_byte_identical_across_predecodes(self):
+        from repro.omnivm.jit import superblock_source
+        from repro.omnivm.threaded import predecode_program
+
+        generator = ProgramGenerator("jit-determinism")
+        first = predecode_program(generator.program(0).build())
+        second = predecode_program(generator.program(0).build())
+        assert first.length == second.length
+        for entry in range(first.length):
+            a = superblock_source(first, entry)
+            b = superblock_source(second, entry)
+            assert a == b, f"superblock source diverged at entry {entry}"
+            assert "_superblock" in a
+
+
+# ---------------------------------------------------------------------------
+# fused-pair fault attribution
+# ---------------------------------------------------------------------------
+
+def _pair_program(first, second):
+    """Setup (3 instrs) + the fused pair (indices 3,4) + return.
+
+    ``r2`` holds an unmapped address (0x40), ``r4`` a mapped data
+    address, ``r9`` zero; the ``xor`` spacer is in no fusion table, so
+    greedy pairing always forms exactly the pair under test.
+    """
+    return build([
+        ("instr", I("li", rd=2, imm=0x40)),
+        ("instr", I("li", rd=4, imm=0x20000000)),
+        ("instr", I("xor", rd=9, rs=9, rt=9)),
+        ("instr", first),
+        ("instr", second),
+        ("instr", I("jr", rs=14)),
+    ], name="fused-fault")
+
+
+#: Every fusable body shape that can fault, faulting on instruction 1
+#: and (where the second instruction accesses memory) on instruction 2.
+BODY_FAULT_SHAPES = [
+    ("lw_lw_first", I("lw", rd=5, rs=2, imm=0), I("lw", rd=6, rs=4, imm=0), 3),
+    ("lw_lw_second", I("lw", rd=5, rs=4, imm=0), I("lw", rd=6, rs=2, imm=0), 4),
+    ("lw_addi_first", I("lw", rd=5, rs=2, imm=0), I("addi", rd=7, rs=9, imm=9), 3),
+    ("addi_lw_second", I("addi", rd=7, rs=9, imm=9), I("lw", rd=6, rs=2, imm=0), 4),
+    ("li_lw_second", I("li", rd=7, imm=42), I("lw", rd=6, rs=2, imm=0), 4),
+    ("li_lwx_second", I("li", rd=7, imm=42), I("lwx", rd=6, rs=2, rt=9), 4),
+    ("sw_sw_first", I("sw", rs=2, rt=1, imm=0), I("sw", rs=4, rt=1, imm=0), 3),
+    ("sw_sw_second", I("sw", rs=4, rt=1, imm=0), I("sw", rs=2, rt=1, imm=0), 4),
+    ("addi_sw_second", I("addi", rd=7, rs=9, imm=9), I("sw", rs=2, rt=1, imm=0), 4),
+]
+
+
+class TestFusedPairFaults:
+    """A fused pair faulting on instruction 1 vs instruction 2 must
+    report ``fault_pc`` of the faulting half and charge exactly the
+    retired prefix — identical across legacy, threaded, and JIT tiers
+    (the JIT variant forces superblock compilation on first dispatch)."""
+
+    ENGINES = ("legacy", "threaded", "jit", "jit-hot")
+
+    def _run_engines(self, program):
+        runs = {}
+        for engine in self.ENGINES:
+            module = load_for_interpretation(
+                program, engine=engine.split("-")[0])
+            if engine == "jit-hot":
+                module.vm._jit_heat = 1
+            obs = observe(module, INTERPRETER)
+            state = module.vm.state
+            runs[engine] = (obs, state.pc, state.instret)
+        return runs
+
+    @pytest.mark.parametrize(
+        "name,first,second,fault_index",
+        BODY_FAULT_SHAPES, ids=[s[0] for s in BODY_FAULT_SHAPES])
+    def test_body_shape(self, name, first, second, fault_index):
+        from repro.omnivm.memory import CODE_BASE
+        from repro.omnivm.isa import INSTR_SIZE
+
+        program = _pair_program(first, second)
+        # prove the pair actually fused
+        vm = load_for_interpretation(program, engine="threaded").vm
+        body, body_count, _, _, _, fused = vm._threaded.build_block(0)
+        assert fused == 1 and body_count == 5 and len(body) == 4
+        runs = self._run_engines(program)
+        expect_pc = CODE_BASE + fault_index * INSTR_SIZE
+        expect_instret = fault_index + 1  # retired prefix + faulting instr
+        for engine, (obs, pc, instret) in runs.items():
+            assert obs[0] == "violation", (engine, obs[:2])
+            assert pc == expect_pc, (engine, hex(pc))
+            assert instret == expect_instret, (engine, instret)
+        first_run = runs["legacy"]
+        for engine in self.ENGINES[1:]:
+            assert runs[engine] == first_run, engine
+
+    def test_term_lw_branch_fault_on_first(self):
+        """The fused lw+branch terminator faulting on the load."""
+        from repro.omnivm.memory import CODE_BASE
+        from repro.omnivm.isa import INSTR_SIZE
+
+        program = build([
+            ("instr", I("li", rd=2, imm=0x40)),
+            ("instr", I("xor", rd=9, rs=9, rt=9)),
+            ("instr", I("lw", rd=5, rs=2, imm=0)),
+            ("instr", I("beqi", rs=5, imm=0, label="L")),
+            ("label", "L"),
+            ("instr", I("jr", rs=14)),
+        ], name="fused-term-fault")
+        vm = load_for_interpretation(program, engine="threaded").vm
+        _, body_count, term, _, term_count, fused = \
+            vm._threaded.build_block(0)
+        assert term is not None and term_count == 2 and fused == 1
+        assert body_count == 2
+        runs = self._run_engines(program)
+        expect_pc = CODE_BASE + 2 * INSTR_SIZE
+        for engine, (obs, pc, instret) in runs.items():
+            assert obs[0] == "violation", (engine, obs[:2])
+            assert pc == expect_pc, (engine, hex(pc))
+            assert instret == 3, (engine, instret)
+
+    def test_second_fault_commits_first_result(self):
+        """When instruction 2 faults, instruction 1's architectural
+        effect is already committed (register write / memory store)."""
+        program = _pair_program(
+            I("li", rd=7, imm=42), I("lw", rd=6, rs=2, imm=0))
+        for engine in ("legacy", "threaded", "jit"):
+            module = load_for_interpretation(program, engine=engine)
+            with pytest.raises(AccessViolation):
+                module.run()
+            assert module.vm.state.regs[7] == 42, engine
