@@ -83,6 +83,7 @@ from repro.service import (
     RequestQuota,
     RetryPolicy,
 )
+from repro.service_router import ShardedModuleHost
 from repro.translators import ARCHITECTURES, TranslationOptions, translate
 
 __version__ = "1.0.0"
@@ -122,6 +123,7 @@ __all__ = [
     "RunConfig",
     "SandboxViolation",
     "ServiceOverloaded",
+    "ShardedModuleHost",
     "TranslationCache",
     "TranslationOptions",
     "UnknownArchitectureError",

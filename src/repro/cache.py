@@ -28,10 +28,13 @@ exact input it was produced from.
 
 Durability guarantees (the service layer leans on all three):
 
-* **atomic disk writes** — entries are written to a temporary file in
-  the cache directory and :func:`os.replace`\\ d into place, so a reader
-  never observes a truncated entry and an interrupted writer leaves no
-  half-entry behind (a later store repairs any stale temp file's slot);
+* **atomic, durable disk writes** — entries are written to a temporary
+  file in the cache directory, ``fsync``\\ ed, :func:`os.replace`\\ d
+  into place, and the directory is ``fsync``\\ ed, so a reader never
+  observes a truncated entry, an interrupted writer leaves no
+  half-entry behind (a later store repairs any stale temp file's slot),
+  and a crash *after* the store returns cannot roll a committed entry
+  back to a truncated one;
 * **integrity-checked disk reads** — every entry carries a SHA-256 over
   its serialized instruction payload; a corrupted or tampered entry
   fails the check, is deleted, and reads as a miss
@@ -44,6 +47,15 @@ Durability guarantees (the service layer leans on all three):
 All public methods are safe to call from multiple threads: one internal
 :class:`threading.RLock` serializes mutation of the LRU, the counters,
 and the disk directory (see :class:`repro.service.ModuleHost`).
+
+**Single-flight translation** (:meth:`TranslationCache.translate_once`):
+when a thundering herd of requests misses on the same uncached key, one
+caller (the *leader*) translates while the rest wait and then read the
+leader's result — in-process via a per-key event, and across processes
+sharing a ``disk_dir`` via an exclusive ``*.flight`` lock file plus
+polling of the disk tier.  A crashed leader's stale flight lock is
+broken after :data:`FLIGHT_STALE_SECONDS`, so single-flight degrades to
+duplicate work, never to a deadlock.
 """
 
 from __future__ import annotations
@@ -52,6 +64,7 @@ import hashlib
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, fields
 from pathlib import Path
@@ -67,6 +80,30 @@ from repro.translators.base import TranslatedModule, TranslationOptions
 #: ``instr_sha256`` integrity digest; format 3 added ``extern_fixups``
 #: (covered by the digest) for per-module dynamic-link chunks.
 DISK_FORMAT = 3
+
+#: A cross-process flight lock older than this is presumed abandoned
+#: (its owner crashed mid-translation) and is broken by the next leader.
+#: Translations are milliseconds; seconds of silence means a dead owner.
+FLIGHT_STALE_SECONDS = 5.0
+
+#: Poll period while waiting on another process's in-flight translation.
+_FLIGHT_POLL_SECONDS = 0.002
+
+
+def _fsync_file(fd: int) -> None:
+    """Flush one file's data to stable storage (hook: the crash-injection
+    tests monkeypatch this to simulate a crash before the fsync)."""
+    os.fsync(fd)
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory entry (the rename itself) to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
 
 #: MInstr fields persisted to disk (caches/latencies are recomputed).
 _MINSTR_FIELDS = (
@@ -137,6 +174,9 @@ class CacheStats:
     #: only, never persisted — closures do not serialize)
     predecode_hits: int = 0
     predecode_misses: int = 0
+    #: callers that waited on another caller's in-flight translation of
+    #: the same key instead of translating it again (stampede control)
+    single_flight_waits: int = 0
 
     def to_dict(self) -> dict[str, int]:
         return {
@@ -149,6 +189,7 @@ class CacheStats:
             "disk_rejects": self.disk_rejects,
             "predecode_hits": self.predecode_hits,
             "predecode_misses": self.predecode_misses,
+            "single_flight_waits": self.single_flight_waits,
         }
 
 
@@ -183,6 +224,11 @@ class TranslationCache:
         self._predecoded: OrderedDict[tuple, object] = OrderedDict()
         self._stats = CacheStats()
         self._lock = threading.RLock()
+        # Single-flight coordination: key -> Event set when the leader's
+        # translation lands (or fails).  Guarded by its own lock so a
+        # translating leader never holds the cache lock.
+        self._flights: dict[tuple[str, str, str], threading.Event] = {}
+        self._flight_lock = threading.Lock()
 
     def __len__(self) -> int:
         with self._lock:
@@ -234,6 +280,126 @@ class TranslationCache:
             self._entries.popitem(last=False)
             self._stats.evictions += 1
             metrics.count("cache.eviction")
+
+    # -- single-flight translation --------------------------------------------
+
+    def translate_once(self, program: LinkedProgram, arch: str,
+                       options: TranslationOptions | None,
+                       produce, timeout: float = 30.0) -> TranslatedModule:
+        """Return the cached translation for the key, or run *produce*
+        exactly once per stampede to create it.
+
+        Concurrent callers missing on the same key elect one leader;
+        the rest wait (``cache.single_flight_wait``) and then read the
+        leader's stored entry.  If the leader fails, a waiter is crowned
+        and retries — every caller eventually returns a translation or
+        raises its own error, never a stale one.  Across processes
+        sharing a ``disk_dir``, an exclusive flight-lock file makes the
+        first process the leader and the others poll the disk tier.
+        *produce* must return a **verified** :class:`TranslatedModule`
+        (the cache's usual admission contract).
+        """
+        key = cache_key(program, arch, options)
+        deadline = time.monotonic() + timeout
+        while True:
+            cached = self.get(program, arch, options)
+            if cached is not None:
+                return cached
+            with self._flight_lock:
+                event = self._flights.get(key)
+                leader = event is None
+                if leader:
+                    event = self._flights[key] = threading.Event()
+            if not leader:
+                with self._lock:
+                    self._stats.single_flight_waits += 1
+                metrics.count("cache.single_flight_wait")
+                event.wait(max(0.0, deadline - time.monotonic()))
+                if time.monotonic() >= deadline:
+                    # Leader wedged: give up on waiting and translate
+                    # ourselves rather than stall the request forever.
+                    return produce()
+                continue  # re-probe: leader stored it (or failed)
+            try:
+                flight_file = self._acquire_flight_file(key)
+                if flight_file is None and self.disk_dir is not None:
+                    # Another *process* is translating this key: poll
+                    # the shared disk tier until its entry lands or the
+                    # owner goes stale.
+                    entry = self._await_foreign_flight(key)
+                    if entry is not None:
+                        return entry
+                    flight_file = self._acquire_flight_file(key,
+                                                            steal=True)
+                try:
+                    translated = produce()
+                    self.put(program, arch, options, translated)
+                    return translated
+                finally:
+                    if flight_file is not None:
+                        try:
+                            flight_file.unlink()
+                        except OSError:
+                            pass
+            finally:
+                with self._flight_lock:
+                    self._flights.pop(key, None)
+                event.set()
+
+    def _flight_path(self, key: tuple[str, str, str]) -> Path | None:
+        path = self._disk_path(key)
+        if path is None:
+            return None
+        return path.with_suffix(".flight")
+
+    def _acquire_flight_file(self, key: tuple[str, str, str],
+                             steal: bool = False) -> Path | None:
+        """Try to take the cross-process flight lock for *key*; returns
+        the lock path when acquired, None when another process holds a
+        fresh lock (or there is no disk tier to coordinate through)."""
+        path = self._flight_path(key)
+        if path is None:
+            return None
+        if steal:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            os.write(fd, str(os.getpid()).encode())
+            os.close(fd)
+            return path
+        except FileExistsError:
+            return None
+        except OSError:
+            # Unwritable disk tier: fall back to in-process-only
+            # single-flight (persistence is always best-effort).
+            return path if steal else None
+
+    def _await_foreign_flight(self, key: tuple[str, str, str]
+                              ) -> TranslatedModule | None:
+        """Poll the disk tier while another process translates *key*;
+        returns its entry, or None when the owner's lock went stale."""
+        path = self._flight_path(key)
+        metrics.count("cache.single_flight_wait")
+        with self._lock:
+            self._stats.single_flight_waits += 1
+        while True:
+            with self._lock:
+                entry = self._disk_load(key)
+                if entry is not None:
+                    self._insert(key, entry)
+                    self._stats.disk_hits += 1
+                    return entry
+            try:
+                age = time.time() - path.stat().st_mtime
+            except OSError:
+                age = None  # lock released without an entry: owner failed
+            if age is None or age > FLIGHT_STALE_SECONDS:
+                return None
+            time.sleep(_FLIGHT_POLL_SECONDS)
 
     # -- predecode side table -------------------------------------------------
 
@@ -404,17 +570,27 @@ class TranslationCache:
             ),
             "instrs": json.loads(instrs_json),
         }
-        # Write-then-rename: a concurrent reader sees either the old
-        # entry or the complete new one, never a truncated file, and an
+        # Write-fsync-rename-fsync: a concurrent reader sees either the
+        # old entry or the complete new one, never a truncated file; an
         # interrupted writer leaves at most a stale *.tmp the next store
-        # replaces.
+        # replaces; and because the data is fsynced *before* the rename
+        # (and the directory after it), a machine crash cannot surface a
+        # committed entry with truncated contents — without the fsync,
+        # the rename could reach the journal before the data blocks,
+        # persisting an entry the SHA-256 check would later reject.
         tmp = path.with_name(
             f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
         )
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_text(json.dumps(payload))
+            fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+            try:
+                os.write(fd, json.dumps(payload).encode())
+                _fsync_file(fd)
+            finally:
+                os.close(fd)
             os.replace(tmp, path)
+            _fsync_dir(path.parent)
         except OSError:
             # persistence is best-effort; the LRU still has it
             try:

@@ -15,7 +15,7 @@ Usage (also via ``python -m repro``):
     omnicc difftest [--count N] [--seed S] [--targets mips,ppc]
                     [--json] [--no-minimize] [--stats]
                     [--sfi [--mutants N]]
-    omnicc serve    --requests reqs.json [--workers N] [--queue-depth N]
+    omnicc serve    --requests reqs.json [--workers N] [--processes N]
                     [--deadline SECONDS] [--json] [--stats]
 
 ``compile`` produces an Omniware object file; ``link`` produces a mobile
@@ -365,7 +365,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     responses = []
     engine = Engine(target=args.arch)
     start = time.perf_counter()
-    with engine.serve(workers=args.workers, queue_depth=args.queue_depth,
+    with engine.serve(processes=args.processes, workers=args.workers,
+                      queue_depth=args.queue_depth,
                       default_deadline=args.deadline) as host:
         pending: list[ModuleRequest] = []
 
@@ -437,6 +438,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         "elapsed_seconds": elapsed,
         "throughput_rps": len(responses) / elapsed if elapsed else None,
         "workers": args.workers,
+        "processes": args.processes,
         "service": host.stats.to_dict(),
     }
     if args.json:
@@ -455,16 +457,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   f"exit={r.exit_code!s:<5} "
                   f"{r.latency_seconds * 1e3:8.2f} ms{extra}")
         pct = host.stats.latency_percentiles()
+        pool = (f"{args.processes} processes x {args.workers} threads"
+                if args.processes else f"{args.workers} workers")
         print(f"\n{summary['requests']} requests in {elapsed:.3f}s "
               f"({summary['throughput_rps']:.1f} req/s, "
-              f"{args.workers} workers): {summary['ok']} ok, "
+              f"{pool}): {summary['ok']} ok, "
               f"{summary['fallbacks']} fallbacks, "
               f"{summary['errors']} errors; "
               f"latency p50 {pct['p50'] * 1e3:.2f} ms / "
               f"p90 {pct['p90'] * 1e3:.2f} ms / "
               f"p99 {pct['p99'] * 1e3:.2f} ms")
     if args.stats:
-        print(f"\n{engine.stats_text()}", file=sys.stderr)
+        if args.processes:
+            # The router's engine never translates; the workers'
+            # caches (merged into the service stats) are the truth.
+            cache = summary["service"].get("cache", {})
+            print(
+                f"\ntranslation cache (all shards): "
+                f"{cache.get('hits', 0)} hits "
+                f"({cache.get('disk_hits', 0)} from disk), "
+                f"{cache.get('misses', 0)} misses, "
+                f"{cache.get('evictions', 0)} evictions",
+                file=sys.stderr,
+            )
+        else:
+            print(f"\n{engine.stats_text()}", file=sys.stderr)
     return 0 if summary["errors"] == 0 else 1
 
 
@@ -599,7 +616,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON array of request specs "
                         "({'path'|'source', 'arch', 'deadline_seconds', "
                         "'fuel', 'max_output_bytes', 'repeat', ...})")
-    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker threads (per process when --processes "
+                        "is set)")
+    p.add_argument("--processes", type=int, default=None,
+                   help="shard the service over N worker processes "
+                        "(consistent-hash routing by module digest; "
+                        "default: one process, threads only)")
     p.add_argument("--queue-depth", type=int, default=64)
     p.add_argument("--arch", default=None,
                    choices=("omnivm",) + tuple(ARCHITECTURES),

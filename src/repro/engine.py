@@ -260,25 +260,27 @@ class Engine:
                 verify_program(program)
                 return translate_image(program, arch, opts,
                                        cache=self.cache)
-            if self.cache is not None:
-                cached = self.cache.get(program, arch, opts)
-                if cached is not None:
-                    return cached
             from repro.omnivm.verifier import verify_program
             from repro.sfi.verifier import verify_sfi
 
-            verify_program(program)
-            translated = translate(program, arch, opts)
-            # Verify BEFORE the translation enters the shared cache:
-            # cache hits everywhere else (load_for_target, serve) skip
-            # verification on the contract that cached code was
-            # verified when it was admitted.  Admitting an unverified
-            # translation here would silently launder it past the SFI
-            # verifier on the next load.
-            verify_sfi(translated)
+            def produce() -> TranslatedModule:
+                verify_program(program)
+                translated = translate(program, arch, opts)
+                # Verify BEFORE the translation enters the shared
+                # cache: cache hits everywhere else (load_for_target,
+                # serve) skip verification on the contract that cached
+                # code was verified when it was admitted.  Admitting an
+                # unverified translation here would silently launder it
+                # past the SFI verifier on the next load.
+                verify_sfi(translated)
+                return translated
+
             if self.cache is not None:
-                self.cache.put(program, arch, opts, translated)
-            return translated
+                # Single-flight: a stampede of concurrent loads for the
+                # same uncached content translates exactly once.
+                return self.cache.translate_once(program, arch, opts,
+                                                 produce)
+            return produce()
 
     def load(
         self,
@@ -425,15 +427,24 @@ class Engine:
         image = self.link_modules(roots, entry=entry)
         return self.load(image, target, options, config=config)
 
-    def serve(self, **kwargs) -> "ModuleHost":
-        """Create a :class:`~repro.service.ModuleHost` fronting this
-        engine: a concurrent execution service with worker threads,
+    def serve(self, processes: int | None = None, **kwargs):
+        """Create a module-hosting service fronting this engine.
+
+        With ``processes=None`` (default): a threaded
+        :class:`~repro.service.ModuleHost` — worker threads,
         per-request deadlines and quotas, retry with backoff, and
-        interpreter fallback.  Keyword arguments are forwarded to the
-        :class:`~repro.service.ModuleHost` constructor.  Use as a
-        context manager (``with engine.serve(workers=4) as host:``) or
-        call :meth:`~repro.service.ModuleHost.start` /
-        :meth:`~repro.service.ModuleHost.stop` explicitly."""
+        interpreter fallback.  With ``processes=N``: a
+        :class:`~repro.service_router.ShardedModuleHost` routing over
+        *N* worker processes with consistent-hash cache affinity and
+        identical request/response semantics (``workers=`` then means
+        threads *per process*).  Remaining keyword arguments are
+        forwarded to the chosen host's constructor.  Use as a context
+        manager (``with engine.serve(workers=4) as host:``) or call
+        ``start()`` / ``stop()`` explicitly."""
+        if processes is not None:
+            from repro.service_router import ShardedModuleHost
+
+            return ShardedModuleHost(self, processes=processes, **kwargs)
         from repro.service import ModuleHost
 
         return ModuleHost(self, **kwargs)

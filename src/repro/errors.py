@@ -277,4 +277,101 @@ class ServiceOverloaded(ServiceError):
 class TransientFault(ServiceError):
     """An injected or environmental failure the service treats as
     retryable (fault-injection hooks raise this to exercise the
-    retry-with-backoff path)."""
+    retry-with-backoff path).  The sharded service also fails requests
+    that were in flight on a crashed worker process with this type, so
+    clients know a plain retry is safe."""
+
+
+# -- cross-process serialization ----------------------------------------------
+#
+# The sharded service (:mod:`repro.service_router`) runs requests in
+# worker processes; typed errors raised there (register/revoke failures,
+# the dynamic-link family, quota violations, ...) must cross the process
+# boundary and re-raise in the router as the *same* classes, or callers
+# lose the typed contract the threaded :class:`repro.service.ModuleHost`
+# provides.  ``serialize_error`` / ``deserialize_error`` are that wire
+# format: a plain JSON-able dict carrying the class name, the message,
+# and the class-specific attributes needed to reconstruct the exception.
+
+#: Attributes (beyond the message) each error class round-trips, in the
+#: positional order its constructor takes them.  Classes not listed
+#: reconstruct from the message alone.
+_ERROR_SIGNATURES: dict[str, tuple[str, ...]] = {
+    "UnresolvedImportError": ("symbol", "importer"),
+    "DuplicateExportError": ("symbol", "modules"),
+    "ModuleCycleError": ("cycle",),
+    "ModuleRevokedError": ("name", "epoch"),
+    "UnknownArchitectureError": ("arch", "known"),
+}
+
+#: Classes whose constructor takes (message, *attrs) keyword attributes.
+_MESSAGE_PLUS_ATTRS: dict[str, tuple[str, ...]] = {
+    "DeadlineExceeded": ("deadline_seconds",),
+    "QuotaExceeded": ("quota", "limit"),
+    "AccessViolation": ("address", "kind"),
+    "VMTrap": ("code",),
+    "CrossModuleViolation": ("module", "target"),
+}
+
+
+def _error_classes() -> dict[str, type]:
+    """Every concrete ``ReproError`` subclass in this module, by name."""
+    classes: dict[str, type] = {"ReproError": ReproError}
+    pending = [ReproError]
+    while pending:
+        for sub in pending.pop().__subclasses__():
+            if sub.__name__ not in classes:
+                classes[sub.__name__] = sub
+                pending.append(sub)
+    return classes
+
+
+def serialize_error(err: BaseException) -> dict:
+    """A picklable/JSON-able description of *err* for the cross-process
+    service protocol.  Round-trips every class in this module through
+    :func:`deserialize_error`; foreign exception types degrade to their
+    class name plus message (deserialized as :class:`ReproError`)."""
+    name = type(err).__name__
+    payload: dict = {"type": name, "message": str(err)}
+    attrs: dict = {}
+    for attr in _ERROR_SIGNATURES.get(name, ()) \
+            + _MESSAGE_PLUS_ATTRS.get(name, ()):
+        value = getattr(err, attr, None)
+        if isinstance(value, (tuple, frozenset)):
+            value = list(value)
+        attrs[attr] = value
+    if attrs:
+        payload["attrs"] = attrs
+    return payload
+
+
+def deserialize_error(payload: dict) -> ReproError:
+    """Reconstruct the typed exception :func:`serialize_error` described.
+
+    Unknown class names (a newer worker talking to an older router, or a
+    non-Repro exception) come back as a plain :class:`ReproError`
+    carrying the original class name in the message — never an
+    unhandled KeyError, so a malformed payload cannot take the router
+    down."""
+    name = payload.get("type", "ReproError")
+    message = payload.get("message", "")
+    attrs = payload.get("attrs", {}) or {}
+    cls = _error_classes().get(name)
+    if cls is None:
+        return ReproError(f"{name}: {message}")
+    try:
+        if name in _ERROR_SIGNATURES:
+            args = []
+            for attr in _ERROR_SIGNATURES[name]:
+                value = attrs.get(attr)
+                args.append(tuple(value) if isinstance(value, list)
+                            else value)
+            return cls(*args)
+        if name in _MESSAGE_PLUS_ATTRS:
+            kwargs = {attr: attrs.get(attr)
+                      for attr in _MESSAGE_PLUS_ATTRS[name]
+                      if attrs.get(attr) is not None}
+            return cls(message, **kwargs)
+        return cls(message)
+    except Exception:
+        return ReproError(f"{name}: {message}")

@@ -128,12 +128,10 @@ def load_for_target(
         if memory is None:
             memory = image_memory(program)
     else:
-        translated = cache.get(program, arch, options) \
-            if cache is not None else None
-        if translated is None:
+        def _produce() -> TranslatedModule:
             if verify:
                 verify_program(program)
-            translated = translate(program, arch, options)
+            produced = translate(program, arch, options)
             if verify:
                 from repro.sfi.verifier import verify_sfi
 
@@ -142,9 +140,17 @@ def load_for_target(
                 # nothing, but it still recovers the CFG (catching
                 # malformed translator output early) and feeds the
                 # verify.sfi.* metrics uniformly.
-                verify_sfi(translated)
-            if cache is not None:
-                cache.put(program, arch, options, translated)
+                verify_sfi(produced)
+            return produced
+
+        if cache is not None:
+            # Single-flight: a thundering herd of loads for the same
+            # uncached content elects one translator; the rest wait on
+            # its (verified) entry instead of duplicating the work.
+            translated = cache.translate_once(program, arch, options,
+                                              _produce)
+        else:
+            translated = _produce()
     if memory is None:
         if segment_size is not None:
             memory = standard_module_memory(

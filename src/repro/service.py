@@ -75,8 +75,10 @@ from __future__ import annotations
 
 import itertools
 import queue
+import random
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro import metrics
@@ -187,19 +189,34 @@ class ModuleResponse:
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Exponential backoff for transient translate/load failures."""
+    """Exponential backoff with deterministic jitter for transient
+    translate/load failures.
+
+    Without jitter, concurrent requests hitting the same transient
+    fault would all sleep the identical schedule and retry in lockstep
+    — a synchronized thundering herd re-arriving at whatever broke.
+    ``jitter`` shaves up to that fraction off each delay, derived
+    deterministically from ``jitter_seed`` and the caller-supplied key
+    (the request id), so two requests desynchronize while any single
+    request's schedule is reproducible."""
 
     max_attempts: int = 3
     backoff_seconds: float = 0.005
     backoff_factor: float = 2.0
     max_backoff_seconds: float = 0.1
+    jitter: float = 0.5
+    jitter_seed: int = 0
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before retry *attempt* (1-based)."""
-        return min(
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry *attempt* (1-based), jittered by *key*."""
+        base = min(
             self.backoff_seconds * self.backoff_factor ** (attempt - 1),
             self.max_backoff_seconds,
         )
+        if not self.jitter:
+            return base
+        rng = random.Random(f"{self.jitter_seed}|{key}|{attempt}")
+        return base * (1.0 - self.jitter * rng.random())
 
 
 # -- output quota enforcement -------------------------------------------------
@@ -301,6 +318,30 @@ class FaultInjector:
             self._translate_faults.clear()
             self._delay_seconds = 0.0
 
+    # -- cross-process shipping -----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The armed faults as a picklable spec.  The sharded service
+        snapshots its injector when worker processes spawn, so faults
+        armed before ``start()`` fire inside every worker exactly as
+        they would in the threaded host."""
+        with self._lock:
+            return {
+                "translate_faults": [dict(f)
+                                     for f in self._translate_faults],
+                "delay_seconds": self._delay_seconds,
+            }
+
+    def arm(self, spec: dict) -> None:
+        """Arm the faults a :meth:`snapshot` captured (worker side)."""
+        with self._lock:
+            self._translate_faults.extend(
+                dict(f) for f in spec.get("translate_faults", ())
+            )
+            self._delay_seconds = max(
+                self._delay_seconds, spec.get("delay_seconds", 0.0)
+            )
+
     # -- hooks (called by the service) ----------------------------------------
 
     def on_translate(self, arch: str) -> None:
@@ -333,6 +374,12 @@ class FaultInjector:
 # -- service statistics -------------------------------------------------------
 
 
+#: Default bound on retained latency samples (a sliding window).  A
+#: long-lived host once accumulated one float per request forever; the
+#: window keeps percentile memory O(1) while reflecting recent traffic.
+LATENCY_WINDOW = 4096
+
+
 class ServiceStats:
     """Thread-safe aggregate of service counters, request latencies,
     and the queue-depth high-water mark.
@@ -340,13 +387,22 @@ class ServiceStats:
     Counters are mirrored as ``service.*`` into every active
     :mod:`repro.metrics` collector and into *collector* (normally the
     owning engine's) even when it is not globally installed — service
-    bookkeeping happens outside the engine's collecting sections."""
+    bookkeeping happens outside the engine's collecting sections.
 
-    def __init__(self, collector: metrics.MetricsCollector | None = None):
+    Latency samples are bounded: a ring buffer keeps the most recent
+    ``latency_window`` observations, so percentiles describe current
+    behaviour and a host serving millions of requests does not leak one
+    float per request.  ``completed_requests`` still counts them all."""
+
+    def __init__(self, collector: metrics.MetricsCollector | None = None,
+                 latency_window: int = LATENCY_WINDOW):
+        if latency_window < 1:
+            raise ValueError("latency window must be >= 1")
         self._lock = threading.Lock()
         self._collector = collector
         self.counters: dict[str, int] = {}
-        self.latencies: list[float] = []
+        self.latencies: deque[float] = deque(maxlen=latency_window)
+        self.completed = 0
         self.queue_high_water = 0
 
     def count(self, name: str, amount: int = 1) -> None:
@@ -361,6 +417,7 @@ class ServiceStats:
     def observe_latency(self, seconds: float) -> None:
         with self._lock:
             self.latencies.append(seconds)
+            self.completed += 1
 
     def observe_queue_depth(self, depth: int) -> None:
         with self._lock:
@@ -370,20 +427,25 @@ class ServiceStats:
     def latency_percentiles(self) -> dict[str, float]:
         with self._lock:
             samples = sorted(self.latencies)
-        if not samples:
-            return {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return _percentiles(samples)
 
-        def pct(p: float) -> float:
-            index = min(len(samples) - 1, int(round(p * (len(samples) - 1))))
-            return samples[index]
-
-        return {"p50": pct(0.50), "p90": pct(0.90), "p99": pct(0.99)}
+    def snapshot(self) -> dict:
+        """Raw mergeable state (the sharded router aggregates these
+        across worker processes — percentiles cannot be merged, samples
+        can)."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "latencies": list(self.latencies),
+                "completed": self.completed,
+                "queue_high_water": self.queue_high_water,
+            }
 
     def to_dict(self) -> dict:
         with self._lock:
             counters = dict(sorted(self.counters.items()))
             high_water = self.queue_high_water
-            requests = len(self.latencies)
+            requests = self.completed
         payload = {
             "counters": counters,
             "queue_high_water": high_water,
@@ -391,6 +453,18 @@ class ServiceStats:
         }
         payload["latency_seconds"] = self.latency_percentiles()
         return payload
+
+
+def _percentiles(samples: list[float]) -> dict[str, float]:
+    """p50/p90/p99 of pre-sorted samples (empty -> zeros)."""
+    if not samples:
+        return {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+    def pct(p: float) -> float:
+        index = min(len(samples) - 1, int(round(p * (len(samples) - 1))))
+        return samples[index]
+
+    return {"p50": pct(0.50), "p90": pct(0.90), "p99": pct(0.99)}
 
 
 # -- deadline watchdog --------------------------------------------------------
@@ -442,7 +516,14 @@ class _Watchdog:
             self._thread = None
 
     def watch(self, machine, deadline_seconds: float) -> _DeadlineGuard:
-        guard = _DeadlineGuard(machine, time.monotonic() + deadline_seconds)
+        return self.watch_until(machine,
+                                time.monotonic() + deadline_seconds)
+
+    def watch_until(self, machine, deadline_at: float) -> _DeadlineGuard:
+        """Watch with an absolute :func:`time.monotonic` deadline — the
+        service uses this so retry backoffs spent before execution count
+        against the same wall-clock budget."""
+        guard = _DeadlineGuard(machine, deadline_at)
         with self._lock:
             self._guards.add(guard)
         return guard
@@ -473,10 +554,26 @@ class PendingRequest:
         self.request = request
         self._done = threading.Event()
         self._response: ModuleResponse | None = None
+        self._callbacks: list = []
+        self._cb_lock = threading.Lock()
 
     def _resolve(self, response: ModuleResponse) -> None:
         self._response = response
-        self._done.set()
+        with self._cb_lock:
+            self._done.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(response)
+
+    def on_done(self, callback) -> None:
+        """Invoke *callback(response)* when the response arrives (now,
+        if it already has).  The sharded worker uses this to stream
+        responses back over its pipe without a thread per request."""
+        with self._cb_lock:
+            if not self._done.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self._response)
 
     def done(self) -> bool:
         return self._done.is_set()
@@ -681,6 +778,15 @@ class ModuleHost:
         self.stats.count("request")
         engine = self.engine
         response = ModuleResponse(request_id=request.request_id, ok=False)
+        # One wall-clock budget for the whole request: retry backoffs
+        # and execution spend from the same deadline, so a request can
+        # never come back with DeadlineExceeded *later* than its
+        # deadline promised because backoff sleeps ran off the clock.
+        deadline = (request.deadline_seconds
+                    if request.deadline_seconds is not None
+                    else self.default_deadline)
+        deadline_at = (time.monotonic() + deadline
+                       if deadline is not None else None)
         try:
             if request.modules:
                 if request.program is not None:
@@ -704,7 +810,8 @@ class ModuleHost:
             if arch != INTERPRETER:
                 try:
                     module = self._load_with_retry(
-                        program, arch, request, host, response)
+                        program, arch, request, host, response,
+                        deadline_at)
                 except (DeadlineExceeded, QuotaExceeded):
                     raise
                 except ReproError:
@@ -724,7 +831,8 @@ class ModuleHost:
                         segment_size=request.quota.segment_size,
                     ),
                 )
-            response.exit_code = self._run_with_deadline(module, request)
+            response.exit_code = self._run_with_deadline(
+                module, request, deadline, deadline_at)
             response.ok = True
             response.output = host.output_text()
             self.stats.count("ok")
@@ -751,10 +859,16 @@ class ModuleHost:
 
     def _load_with_retry(self, program: LinkedProgram, arch: str,
                          request: ModuleRequest, host: Host,
-                         response: ModuleResponse):
+                         response: ModuleResponse,
+                         deadline_at: float | None = None):
         """Translate+load for *arch*, retrying transient faults with
-        exponential backoff; the attempt count is recorded on
-        *response* (it survives a subsequent interpreter fallback)."""
+        jittered exponential backoff; the attempt count is recorded on
+        *response* (it survives a subsequent interpreter fallback).
+
+        Every backoff sleep is clamped to the request's remaining
+        wall-clock budget, and a retry with no budget left fails fast
+        as :class:`~repro.errors.DeadlineExceeded` instead of sleeping
+        past the deadline."""
         while True:
             try:
                 if self.faults is not None:
@@ -771,17 +885,36 @@ class ModuleHost:
                 response.retries += 1
                 if response.retries >= self.retry.max_attempts:
                     raise
+                delay = self.retry.delay(response.retries,
+                                         key=request.request_id)
+                if deadline_at is not None:
+                    remaining = deadline_at - time.monotonic()
+                    if remaining <= 0.0:
+                        raise DeadlineExceeded(
+                            f"request {request.request_id!r} exhausted "
+                            f"its deadline during retry backoff "
+                            f"(attempt {response.retries})",
+                            deadline_seconds=request.deadline_seconds,
+                        ) from None
+                    delay = min(delay, remaining)
                 self.stats.count("retry")
-                time.sleep(self.retry.delay(response.retries))
+                time.sleep(delay)
 
-    def _run_with_deadline(self, module, request: ModuleRequest) -> int:
-        deadline = (request.deadline_seconds
-                    if request.deadline_seconds is not None
-                    else self.default_deadline)
+    def _run_with_deadline(self, module, request: ModuleRequest,
+                           deadline: float | None,
+                           deadline_at: float | None) -> int:
         machine = getattr(module, "machine", None) or module.vm
         guard = None
-        if deadline is not None:
-            guard = self._watchdog.watch(machine, deadline)
+        if deadline_at is not None:
+            if deadline_at - time.monotonic() <= 0.0:
+                # Budget already spent (e.g. on retry backoffs): fail
+                # fast rather than start an execution we must kill.
+                raise DeadlineExceeded(
+                    f"request {request.request_id!r} exceeded its "
+                    f"{deadline:.3f}s deadline before execution",
+                    deadline_seconds=deadline,
+                )
+            guard = self._watchdog.watch_until(machine, deadline_at)
         try:
             if self.faults is not None:
                 self.faults.on_execute(request)

@@ -63,6 +63,7 @@ PUBLIC_API = [
     "RunConfig",
     "SandboxViolation",
     "ServiceOverloaded",
+    "ShardedModuleHost",
     "TranslationCache",
     "TranslationOptions",
     "UnknownArchitectureError",

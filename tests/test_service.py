@@ -6,7 +6,10 @@ translation cache, and the throughput-benchmark artifact contract.
 All tests here are fast and deterministic (tier-1)."""
 
 import importlib.util
+import json
+import os
 import threading
+import time
 from pathlib import Path
 
 import pytest
@@ -19,6 +22,7 @@ from repro.engine import Engine, RunConfig
 from repro.errors import ServiceOverloaded
 from repro.native.profiles import MOBILE_SFI
 from repro.service import (
+    LATENCY_WINDOW,
     CappedHost,
     FaultInjector,
     ModuleHost,
@@ -264,11 +268,40 @@ class TestRetryAndFallback:
 
     def test_backoff_schedule_is_exponential_and_capped(self):
         policy = RetryPolicy(backoff_seconds=0.01, backoff_factor=2.0,
-                             max_backoff_seconds=0.03)
+                             max_backoff_seconds=0.03, jitter=0.0)
         assert policy.delay(1) == pytest.approx(0.01)
         assert policy.delay(2) == pytest.approx(0.02)
         assert policy.delay(3) == pytest.approx(0.03)  # capped
         assert policy.delay(10) == pytest.approx(0.03)
+
+    def test_jitter_is_deterministic_and_desynchronizing(self):
+        policy = RetryPolicy(backoff_seconds=0.01, backoff_factor=2.0,
+                             max_backoff_seconds=0.03, jitter=0.5,
+                             jitter_seed=7)
+        # Deterministic: same (seed, key, attempt) -> same delay.
+        assert policy.delay(1, key="req-1") == policy.delay(1, key="req-1")
+        # Seedable: a different seed moves the schedule.
+        other_seed = RetryPolicy(backoff_seconds=0.01, backoff_factor=2.0,
+                                 max_backoff_seconds=0.03, jitter=0.5,
+                                 jitter_seed=8)
+        assert policy.delay(1, key="req-1") != \
+            other_seed.delay(1, key="req-1")
+        # Desynchronizing: two requests retrying the same attempt do
+        # NOT sleep the same time (the lockstep-herd bug).
+        assert policy.delay(1, key="req-1") != policy.delay(1, key="req-2")
+        # Bounded: jitter only shaves delay, never exceeds the base.
+        for attempt in (1, 2, 3, 10):
+            for key in ("a", "b", "c"):
+                base = RetryPolicy(
+                    backoff_seconds=0.01, backoff_factor=2.0,
+                    max_backoff_seconds=0.03, jitter=0.0).delay(attempt)
+                jittered = policy.delay(attempt, key=key)
+                assert base * 0.5 <= jittered <= base
+
+    def test_default_policy_has_jitter(self):
+        # The lockstep retry herd was a real bug: the default policy
+        # must desynchronize concurrent retries out of the box.
+        assert RetryPolicy().jitter > 0.0
 
     def test_unknown_arch_degrades_gracefully(self, program):
         with Engine().serve(workers=1) as host:
@@ -422,6 +455,96 @@ class TestSharedCacheConcurrency:
         assert stats.hits >= 1
 
 
+class TestDeadlineBudget:
+    """The whole request — backoff sleeps included — spends one
+    wall-clock budget (regression: backoffs used to sleep past the
+    deadline, returning DeadlineExceeded seconds late)."""
+
+    def test_backoff_is_clamped_to_remaining_deadline(self, program):
+        faults = FaultInjector()
+        faults.fail_translations(count=-1)
+        with Engine(target="mips").serve(
+                workers=1, faults=faults,
+                retry=RetryPolicy(max_attempts=5, backoff_seconds=5.0,
+                                  max_backoff_seconds=30.0,
+                                  jitter=0.0)) as host:
+            start = time.perf_counter()
+            response = host.run(ModuleRequest(
+                program=program, deadline_seconds=0.2))
+            elapsed = time.perf_counter() - start
+        assert response.error == "DeadlineExceeded"
+        # Unclamped, the schedule would sleep 5s after the first fault;
+        # clamped, the response lands at ~the 0.2s deadline.
+        assert elapsed < 2.0
+        assert host.stats.counters["timeout"] == 1
+
+    def test_fail_fast_when_budget_spent_before_execution(self, program):
+        # One transient fault, then translation would succeed — but the
+        # clamped backoff already consumed the whole deadline, so the
+        # request must fail fast instead of starting an execution that
+        # is born expired.
+        faults = FaultInjector()
+        faults.fail_translations(count=1)
+        with Engine(target="mips").serve(
+                workers=1, faults=faults,
+                retry=RetryPolicy(max_attempts=3, backoff_seconds=5.0,
+                                  jitter=0.0)) as host:
+            start = time.perf_counter()
+            response = host.run(ModuleRequest(
+                program=program, deadline_seconds=0.1))
+            elapsed = time.perf_counter() - start
+        assert response.error == "DeadlineExceeded"
+        assert "before execution" in response.error_message
+        assert elapsed < 2.0
+
+
+class TestLatencyWindow:
+    """Latency samples are a bounded ring buffer (regression: a
+    long-lived host leaked one float per request, forever)."""
+
+    def test_window_bounds_samples_but_not_totals(self):
+        stats = ServiceStats(latency_window=8)
+        for i in range(100):
+            stats.observe_latency(float(i))
+        assert len(stats.latencies) == 8
+        assert stats.completed == 100
+        assert stats.to_dict()["completed_requests"] == 100
+
+    def test_percentiles_reflect_recent_window_on_overflow(self):
+        stats = ServiceStats(latency_window=8)
+        for i in range(100):
+            stats.observe_latency(float(i))
+        pct = stats.latency_percentiles()
+        # Only samples 92..99 remain; percentiles must come from them,
+        # not the evicted early (low) observations.
+        assert pct["p50"] == 96.0
+        assert pct["p99"] == 99.0
+
+    def test_default_window(self):
+        assert ServiceStats().latencies.maxlen == LATENCY_WINDOW
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceStats(latency_window=0)
+
+
+class TestSingleFlightStampede:
+    def test_hundred_request_stampede_translates_once(self):
+        # 100 concurrent requests for one uncached module, 8 workers:
+        # the cache's single-flight protocol elects one translator and
+        # parks everyone else on its entry — exactly one store, 99 hits.
+        engine = Engine(target="mips")
+        with engine.serve(workers=8) as host:
+            pending = [host.submit(ModuleRequest(program=SRC), block=True)
+                       for _ in range(100)]
+            responses = [p.result(timeout=120.0) for p in pending]
+        assert all(r.ok for r in responses)
+        stats = engine.cache.stats()
+        assert stats.stores == 1
+        assert stats.misses >= 1
+        assert stats.hits == 99
+
+
 class TestBenchmarkSmoke:
     """Tier-1 guard on the BENCH_service_throughput.json contract."""
 
@@ -438,11 +561,40 @@ class TestBenchmarkSmoke:
         program = compile_and_link([SRC])
         return bench.collect_benchmark(
             program=program, worker_counts=(2, 8),
-            requests_per_batch=4, governance_requests=8)
+            requests_per_batch=4, governance_requests=8,
+            sharded_requests=24, sharded_modules=4,
+            stampede_requests=30)
 
     def test_payload_validates(self, bench, payload):
         bench.validate_artifact(payload)
-        assert payload["schema_version"] == bench.SCHEMA_VERSION
+        # schema pin: v2 added the sharded + single-flight sections
+        assert payload["schema_version"] == bench.SCHEMA_VERSION == 2
+
+    def test_sharded_section_is_honest_about_cores(self, bench, payload):
+        sharded = payload["sharded"]
+        cores = os.cpu_count() or 1
+        assert sharded["cpu_count"] == cores
+        if cores < bench.SHARDED_MIN_CORES:
+            # Graceful skip on small machines: visible, justified, and
+            # the sharded path still ran (reduced mix, all ok).
+            assert sharded["skipped"]
+            assert sharded["skip_reason"]
+        else:
+            assert not sharded["skipped"]
+            assert sharded["scaling_x"] >= bench.SHARDED_SCALING_BAR
+        assert sharded["results"]
+        for entry in sharded["results"]:
+            assert entry["ok"] == entry["requests"]
+
+    def test_single_flight_stampede_translated_once(self, payload):
+        single_flight = payload["single_flight"]
+        assert single_flight["stores"] == 1
+        assert single_flight["ok"] == single_flight["requests"]
+
+    def test_committed_artifact_is_schema_v2(self, bench):
+        artifact = json.loads(bench.ARTIFACT_PATH.read_text())
+        bench.validate_artifact(artifact)
+        assert artifact["schema_version"] == 2
 
     def test_sustains_eight_concurrent_requests(self, payload):
         assert payload["results"][-1]["workers"] >= 8
