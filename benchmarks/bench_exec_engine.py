@@ -2,11 +2,11 @@
 
 Measures dynamic-instruction throughput of the execution tiers — the
 legacy per-instruction dispatcher, the predecoded threaded-code engine
-(:mod:`repro.omnivm.threaded` / :mod:`repro.targets.threaded`), and on
-the reference interpreter the trace-based superblock JIT
-(:mod:`repro.omnivm.jit`) — for every executor (the interpreter plus
-the four target simulators) on the four SPEC-derived workloads, and
-emits the ``BENCH_exec_engine.json`` artifact at the repository root.
+(:mod:`repro.omnivm.threaded` / :mod:`repro.targets.threaded`), and the
+trace-based superblock JIT (:mod:`repro.omnivm.jit` on the reference
+interpreter, :mod:`repro.targets.jit` on the four target simulators) —
+for every executor on the four SPEC-derived workloads, and emits the
+``BENCH_exec_engine.json`` artifact at the repository root.
 
 All engines must retire the *same* dynamic instruction count and
 produce the same output (asserted per run), so the comparison is pure
@@ -39,7 +39,7 @@ ARTIFACT_PATH = Path(__file__).resolve().parents[1] / (
     "BENCH_exec_engine.json"
 )
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: The interpreter plus the four target simulators.
 EXECUTORS = ("omnivm",) + ARCHITECTURES
@@ -51,8 +51,8 @@ RESULT_KEYS = frozenset(
      "speedup")
 )
 
-#: additional keys omnivm entries carry for the JIT tier (the JIT is
-#: interpreter-only; native targets fall back to threaded)
+#: additional keys every entry carries for the JIT tier (schema v3:
+#: the superblock JIT covers the interpreter *and* all four targets)
 JIT_RESULT_KEYS = frozenset(
     ("jit_seconds", "jit_instret", "jit_ips", "jit_speedup",
      "jit_superblocks", "jit_deopts", "jit_compile_ms")
@@ -65,7 +65,8 @@ MIN_SPEEDUP = {"omnivm": 2.0, "mips": 1.5, "ppc": 1.5, "sparc": 1.5,
 
 #: The JIT tier must beat the *threaded* engine by this factor
 #: (geometric mean over workloads, warm superblock cache).
-MIN_JIT_SPEEDUP = {"omnivm": 2.0}
+MIN_JIT_SPEEDUP = {"omnivm": 2.0, "mips": 1.8, "ppc": 1.8, "sparc": 1.8,
+                   "x86": 1.8}
 
 
 def _measure(program, name: str, executor: str, engine: str,
@@ -137,28 +138,29 @@ def collect_benchmark(
                 "threaded_ips": threaded_i / threaded_s,
                 "speedup": legacy_s / threaded_s,
             }
-            if executor == "omnivm":
-                # Cold run populates the shared cache and pays the
-                # compile cost; the timed repeats then reuse the
-                # compiled superblocks, like a long-running module.
-                cache = TranslationCache()
-                _, _, cold = _measure(
-                    program, name, executor, "jit", 1, cache=cache)
-                jit_s, jit_i, warm = _measure(
-                    program, name, executor, "jit", repeats, cache=cache)
-                if jit_i != threaded_i:
-                    raise AssertionError(
-                        f"{executor}/{name}: instret diverged "
-                        f"({threaded_i} threaded vs {jit_i} jit)")
-                entry.update({
-                    "jit_seconds": jit_s,
-                    "jit_instret": jit_i,
-                    "jit_ips": jit_i / jit_s,
-                    "jit_speedup": threaded_s / jit_s,
-                    "jit_superblocks": cold.vm._superblocks_compiled,
-                    "jit_deopts": warm.vm._jit_deopts,
-                    "jit_compile_ms": cold.vm._jit_compile_ms,
-                })
+            # Cold run populates the shared cache and pays the
+            # compile cost; the timed repeats then reuse the
+            # compiled superblocks, like a long-running module.
+            cache = TranslationCache()
+            _, _, cold = _measure(
+                program, name, executor, "jit", 1, cache=cache)
+            jit_s, jit_i, warm = _measure(
+                program, name, executor, "jit", repeats, cache=cache)
+            if jit_i != threaded_i:
+                raise AssertionError(
+                    f"{executor}/{name}: instret diverged "
+                    f"({threaded_i} threaded vs {jit_i} jit)")
+            cold_m = cold.vm if executor == "omnivm" else cold.machine
+            warm_m = warm.vm if executor == "omnivm" else warm.machine
+            entry.update({
+                "jit_seconds": jit_s,
+                "jit_instret": jit_i,
+                "jit_ips": jit_i / jit_s,
+                "jit_speedup": threaded_s / jit_s,
+                "jit_superblocks": cold_m._superblocks_compiled,
+                "jit_deopts": warm_m._jit_deopts,
+                "jit_compile_ms": cold_m._jit_compile_ms,
+            })
             results.append(entry)
     summary = {}
     jit_summary = {}
@@ -207,16 +209,15 @@ def validate_artifact(payload: dict) -> None:
         assert entry["legacy_instret"] == entry["threaded_instret"], (
             "engines disagree on retired instructions")
         assert entry["legacy_instret"] > 0
-        if entry["executor"] == "omnivm":
-            missing = JIT_RESULT_KEYS - entry.keys()
-            assert not missing, (
-                f"omnivm entry missing jit keys: {sorted(missing)}")
-            assert entry["jit_seconds"] > 0
-            assert entry["jit_instret"] == entry["threaded_instret"], (
-                "jit tier disagrees on retired instructions")
-            assert entry["jit_superblocks"] > 0, "jit never compiled"
-            assert entry["jit_compile_ms"] > 0
-            assert entry["jit_deopts"] >= 0
+        missing = JIT_RESULT_KEYS - entry.keys()
+        assert not missing, (
+            f"entry missing jit keys: {sorted(missing)}")
+        assert entry["jit_seconds"] > 0
+        assert entry["jit_instret"] == entry["threaded_instret"], (
+            "jit tier disagrees on retired instructions")
+        assert entry["jit_superblocks"] > 0, "jit never compiled"
+        assert entry["jit_compile_ms"] > 0
+        assert entry["jit_deopts"] >= 0
         executors.add(entry["executor"])
     summary = payload.get("geomean_speedup")
     assert isinstance(summary, dict) and set(summary) == executors
@@ -224,7 +225,8 @@ def validate_artifact(payload: dict) -> None:
         assert value > 0
     jit_summary = payload.get("geomean_jit_over_threaded")
     assert isinstance(jit_summary, dict)
-    assert set(jit_summary) == (executors & {"omnivm"})
+    assert set(jit_summary) == executors, (
+        "schema v3: every executor reports a jit geomean")
     for executor, value in jit_summary.items():
         assert value > 0
 

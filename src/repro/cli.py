@@ -548,8 +548,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", default="auto",
                    choices=("auto", "jit", "threaded", "legacy"),
                    help="execution loop: auto-tiering (default; superblock "
-                        "JIT on the interpreter), jit, the threaded-code "
-                        "engine, or the legacy per-instruction loop")
+                        "JIT on the interpreter and all four targets), jit, "
+                        "the threaded-code engine, or the legacy "
+                        "per-instruction loop")
     p.add_argument("--cycles", action="store_true",
                    help="print execution statistics to stderr")
     p.add_argument("--stats", action="store_true",

@@ -56,7 +56,6 @@ entry)`` keys, which module revocation invalidates together with the
 
 from __future__ import annotations
 
-import struct
 import time
 
 from repro import metrics
@@ -64,24 +63,34 @@ from repro.errors import (
     AccessViolation,
     FuelExhausted,
     VMRuntimeError,
-    VMTrap,
+)
+from repro.jitcore import (
+    CMP as _CMP,
+    CMP_INV as _CMP_INV,
+    FLUSH as _FLUSH,
+    JIT_HEAT,
+    MAX_TRACE_BLOCKS,
+    MAX_TRACE_INSTRS,
+    Acct as _Acct,
+    Emitter as _Emitter,
+    SideExitPromotion,
+    base_exec_globals,
+    emit_cvt as _emit_cvt,
+    emit_ext as _emit_ext,
+    emit_load_refill as _emit_load_refill,
+    emit_s32 as _emit_s32,
+    emit_store_refill as _emit_store_refill,
 )
 from repro.omnivm import semantics
 from repro.omnivm.interp import _IMM_TO_REG_OP, _LOAD_SHAPE, _STORE_SIZE, OmniVM
 from repro.omnivm.isa import BRANCH_PREDS, INSTR_SIZE, REG_RA, SET_PREDS
 from repro.omnivm.memory import CODE_BASE
 from repro.omnivm.threaded import _TERM_KINDS, ThreadedVM
-from repro.utils.bits import round_f32, s32, u32
+from repro.utils.bits import s32, u32
 
 _M = 0xFFFFFFFF
 _SIGN = 0x80000000
-_WRAP = 0x100000000
 
-#: Block-entry dispatch count at which a superblock is formed.
-JIT_HEAT = 16
-#: Formation limits: constituent blocks / instructions per superblock.
-MAX_TRACE_BLOCKS = 32
-MAX_TRACE_INSTRS = 512
 #: Longest arm (in instructions) an inlined branch diamond may have.
 MAX_DIAMOND_ARM = 8
 
@@ -93,96 +102,12 @@ __all__ = [
 ]
 
 #: Names the generated source may reference; a fresh copy becomes the
-#: module namespace of each exec'd superblock.  The ``*_at``/``put_*``
-#: struct helpers back the inlined memory fast paths: IEEE bit
-#: reinterpretation through them is byte-identical to the
-#: :mod:`repro.utils.bits` helpers, which are struct-based themselves.
-_EXEC_GLOBALS = {
-    "AccessViolation": AccessViolation,
-    "FuelExhausted": FuelExhausted,
-    "VMRuntimeError": VMRuntimeError,
-    "VMTrap": VMTrap,
-    "int_divide": semantics.int_divide,
-    "fp_binop": semantics.fp_binop,
-    "f_to_i32": semantics.f_to_i32,
-    "f_to_u32": semantics.f_to_u32,
-    "round_f32": round_f32,
-    "u16_at": struct.Struct("<H").unpack_from,
-    "u32_at": struct.Struct("<I").unpack_from,
-    "f32_at": struct.Struct("<f").unpack_from,
-    "f64_at": struct.Struct("<d").unpack_from,
-    "put_u16": struct.Struct("<H").pack_into,
-    "put_u32": struct.Struct("<I").pack_into,
-    "put_f64": struct.Struct("<d").pack_into,
-}
+#: module namespace of each exec'd superblock (shared with the native
+#: JIT — see :func:`repro.jitcore.base_exec_globals`).
+_EXEC_GLOBALS = base_exec_globals()
 
-_CMP = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
-_CMP_INV = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt",
-            "le": "gt", "gt": "le"}
 #: FP ops that can raise the (unattributed) arithmetic trap.
 _FP_TRAPPING = ("fadd", "fsub", "fmul", "fdiv")
-
-
-class _Emitter:
-    """Accumulates generated statements at explicit nesting depths.
-
-    A sub-emitter (``_Emitter(parent)``) shares the parent's
-    inline-cache site lists — only the line buffer is private — so
-    diamond arms allocate cache sites from the same sequence as the
-    enclosing trace.
-    """
-
-    __slots__ = ("lines", "load_sites", "store_sites")
-
-    def __init__(self, parent: "_Emitter | None" = None):
-        self.lines: list[str] = []
-        if parent is None:
-            self.load_sites: list[int] = []
-            self.store_sites: list[int] = []
-        else:
-            self.load_sites = parent.load_sites
-            self.store_sites = parent.store_sites
-
-    def emit(self, line: str, depth: int = 0) -> None:
-        self.lines.append("    " * depth + line)
-
-    def load_site(self) -> int:
-        sid = len(self.load_sites)
-        self.load_sites.append(sid)
-        return sid
-
-    def store_site(self) -> int:
-        sid = len(self.store_sites)
-        self.store_sites.append(sid)
-        return sid
-
-
-class _Acct:
-    """Instret-offset bookkeeping for the generated source.
-
-    Until the trace inlines a diamond, every commit site knows the
-    retired count as a compile-time constant.  A diamond's arms retire
-    different counts, so the first one switches the trace to *runtime*
-    mode: a local ``_n`` holds the instructions retired up to the last
-    join, and commits become ``_n + <constant>``.
-    """
-
-    __slots__ = ("runtime",)
-
-    def __init__(self):
-        self.runtime = False
-
-    def expr(self, offset: int) -> str:
-        if not self.runtime:
-            return str(offset)
-        return "_n" if offset == 0 else f"_n + {offset}"
-
-
-def _emit_s32(em, var, reg):
-    """Read integer register *reg* into *var* as a signed value."""
-    em.emit(f"{var} = regs[{reg}]")
-    em.emit(f"if {var} & {_SIGN:#x}:")
-    em.emit(f"    {var} -= {_WRAP:#x}", 1)
 
 
 def _emit_commit(em, acct, offset, pc, depth=0):
@@ -268,23 +193,7 @@ def _mem_addr(rs, other, immu, indexed):
 # segment permissions mid-trace, so every site is flushed after each
 # inlined hostcall (patched in at assembly time via ``_FLUSH`` so a
 # hostcall early in a loop also drops sites emitted after it).
-
-#: Assembly-time placeholder for "invalidate every inline cache site".
-_FLUSH = "_FLUSHSITES_"
-
-
-def _emit_load_refill(em, sid, depth):
-    em.emit("_sg = memory._last", depth)
-    em.emit(f"_lb{sid} = _sg.base", depth)
-    em.emit(f"_ll{sid} = _lb{sid} + _sg.size", depth)
-    em.emit(f"_ld{sid} = _sg.data", depth)
-
-
-def _emit_store_refill(em, sid, depth):
-    em.emit("_sg = memory._last", depth)
-    em.emit(f"_sb{sid} = _sg.base", depth)
-    em.emit(f"_sl{sid} = _sb{sid} + _sg.size", depth)
-    em.emit(f"_sd{sid} = _sg.data", depth)
+# (The cache emission helpers themselves live in repro.jitcore.)
 
 
 def _emit_load_cached(em, acct, pc, offset, addr, size, fast_lines,
@@ -425,44 +334,6 @@ def _emit_falu(em, acct, instr, nb, block_pc):
     em.emit(f"fregs[{instr.fd}] = {expr}")
 
 
-def _emit_cvt(em, instr):
-    op = instr.op
-    rd, rs, fd, fs = instr.rd, instr.rs, instr.fd, instr.fs
-    if op in ("cvtdw", "cvtsw"):
-        _emit_s32(em, "_a", rs)
-        expr = "float(_a)"
-        em.emit(f"fregs[{fd}] = "
-                + (f"round_f32({expr})" if op == "cvtsw" else expr))
-    elif op in ("cvtdwu", "cvtswu"):
-        expr = f"float(regs[{rs}])"
-        em.emit(f"fregs[{fd}] = "
-                + (f"round_f32({expr})" if op == "cvtswu" else expr))
-    elif op in ("cvtwd", "cvtws"):
-        em.emit(f"regs[{rd}] = f_to_i32(fregs[{fs}])")
-    elif op in ("cvtwud", "cvtwus"):
-        em.emit(f"regs[{rd}] = f_to_u32(fregs[{fs}])")
-    elif op == "cvtds":
-        em.emit(f"fregs[{fd}] = fregs[{fs}]")
-    elif op == "cvtsd":
-        em.emit(f"fregs[{fd}] = round_f32(fregs[{fs}])")
-    else:  # pragma: no cover
-        raise VMRuntimeError(f"unknown conversion {op!r}")
-
-
-def _emit_ext(em, instr):
-    op = instr.op
-    rd, rs = instr.rd, instr.rs
-    bits, sign, high = (
-        (0xFF, 0x80, 0xFFFFFF00) if op.endswith("8")
-        else (0xFFFF, 0x8000, 0xFFFF0000)
-    )
-    if op.startswith("z"):
-        em.emit(f"regs[{rd}] = regs[{rs}] & {bits:#x}")
-    else:
-        em.emit(f"_a = regs[{rs}] & {bits:#x}")
-        em.emit(f"regs[{rd}] = (_a | {high:#x}) if _a & {sign:#x} else _a")
-
-
 def _emit_body_instr(em, acct, instr, pc, offset, nb, block_pc):
     """Emit one straight-line instruction.
 
@@ -516,9 +387,12 @@ def _emit_body_instr(em, acct, instr, pc, offset, nb, block_pc):
 # conditional branches: folds, inlined diamonds, guarded side exits
 # ---------------------------------------------------------------------------
 
-def _emit_side_exit(em, acct, offset, pc, depth=0, deopt=False):
+def _emit_side_exit(em, acct, offset, pc, depth=0, deopt=None):
     if deopt:
-        em.emit("vm._jit_deopts += 1", depth)
+        # A guarded deopt notifies the promotion policy (which also
+        # counts it) so hot side exits can be re-formed; *deopt* is the
+        # pre-built ``vm._note_exit(...)`` statement.
+        em.emit(deopt, depth)
     _emit_commit(em, acct, offset, pc, depth)
     em.emit("return", depth)
 
@@ -646,7 +520,8 @@ def _emit_arm(em, acct, instrs, arm, offset, block_pc, depth):
     return aoff
 
 
-def _emit_branch(em, acct, instrs, n, instr, pc, offset, entry_pc):
+def _emit_branch(em, acct, instrs, n, instr, pc, offset, entry_pc,
+                 entry_index, overrides):
     """Emit a conditional branch and return ``(continuation_pc,
     new_offset, extra_instrs)``.
 
@@ -654,6 +529,9 @@ def _emit_branch(em, acct, instrs, n, instr, pc, offset, entry_pc):
     branches become a guarded side exit and leave the offset alone; an
     inlined diamond resets it to zero (the join becomes the new
     accounting base) and reports how many arm instructions it emitted.
+    *overrides* maps branch pcs to promoted predictions (see
+    :class:`repro.jitcore.SideExitPromotion`); they replace only the
+    BTFN default — loop closure and diamonds keep priority.
     """
     target = u32(instr.imm)
     fall = pc + INSTR_SIZE
@@ -687,11 +565,16 @@ def _emit_branch(em, acct, instrs, n, instr, pc, offset, entry_pc):
             acct.runtime = True
             return (CODE_BASE + join_i * INSTR_SIZE, 0,
                     taken_len + fall_len)
-        predict_taken = target <= pc
+        if pc in overrides:
+            predict_taken = overrides[pc]
+        else:
+            predict_taken = target <= pc
     exit_pred = _CMP_INV[pred] if predict_taken else pred
     exit_pc = fall if predict_taken else target
     em.emit(f"if {lhs} {_CMP[exit_pred]} {rhs}:")
-    _emit_side_exit(em, acct, offset, exit_pc, 1, deopt=True)
+    _emit_side_exit(em, acct, offset, exit_pc, 1,
+                    deopt=f"vm._note_exit({entry_index}, {pc:#x}, "
+                          f"{not predict_taken}, {exit_pc:#x})")
     return (target if predict_taken else fall), offset, 0
 
 
@@ -699,11 +582,13 @@ def _emit_branch(em, acct, instrs, n, instr, pc, offset, entry_pc):
 # trace formation + source generation
 # ---------------------------------------------------------------------------
 
-def superblock_source(program, entry_index: int) -> str:
+def superblock_source(program, entry_index: int, overrides=None) -> str:
     """Form the superblock entered at *entry_index* and generate its
     Python source.  Deterministic: the output is a pure function of
-    ``program.instrs`` and the entry (pinned by the determinism test).
+    ``program.instrs``, the entry, and the (per-VM) prediction
+    *overrides* (pinned by the determinism test).
     """
+    overrides = overrides or {}
     instrs = program.instrs
     n = program.length
     em = _Emitter()
@@ -762,7 +647,8 @@ def superblock_source(program, entry_index: int) -> str:
         total += 1
         if kind in ("branch", "branchi"):
             cont, off, extra = _emit_branch(em, acct, instrs, n, instr,
-                                            pc, off, entry_pc)
+                                            pc, off, entry_pc,
+                                            entry_index, overrides)
             total += extra
         elif kind == "jump":
             cont = u32(instr.imm)
@@ -886,15 +772,16 @@ def superblock_source(program, entry_index: int) -> str:
     return "\n".join(out) + "\n"
 
 
-def compile_superblock(program, entry_index: int):
+def compile_superblock(program, entry_index: int, overrides=None):
     """Compile the superblock entered at *entry_index*.
 
     Returns ``(source, function)``; the function has the signature
     ``fn(vm, state, regs, fregs, memory)`` and binds no VM state, so it
     is shareable across VMs (and cacheable under ``("jit-omni", digest,
-    entry)`` keys).
+    entry)`` keys — but only when compiled without *overrides*, which
+    encode one VM's runtime profile).
     """
-    source = superblock_source(program, entry_index)
+    source = superblock_source(program, entry_index, overrides)
     entry_pc = CODE_BASE + entry_index * INSTR_SIZE
     code = compile(source, f"<jit-omni@{entry_pc:#010x}>", "exec")
     namespace = dict(_EXEC_GLOBALS)
@@ -902,11 +789,51 @@ def compile_superblock(program, entry_index: int):
     return source, namespace["_superblock"]
 
 
+def _path_reaches(instrs, n, start, entry, limit=MAX_TRACE_BLOCKS):
+    """Bounded DFS over the static block graph: can control flow from
+    block *start* get back to block *entry* without an indirect jump?
+    Used by the promotion policy to tell a mispredicted cycle (worth
+    re-forming the trace) from a genuine trace departure."""
+    seen: set[int] = set()
+    stack = [start]
+    while stack and len(seen) < limit:
+        idx = stack.pop()
+        if idx == entry:
+            return True
+        if idx in seen or idx < 0 or idx >= n:
+            continue
+        seen.add(idx)
+        i = idx
+        while i < n:
+            instr = instrs[i]
+            if instr.spec.kind in _TERM_KINDS or instr.op in ("trap",
+                                                              "sethnd"):
+                break
+            i += 1
+        else:
+            continue
+        instr = instrs[i]
+        kind = instr.spec.kind
+        if kind in ("branch", "branchi"):
+            t = u32(instr.imm) - CODE_BASE
+            if not t & 7:
+                stack.append(t >> 3)
+            stack.append(i + 1)
+        elif kind in ("jump", "call"):
+            t = u32(instr.imm) - CODE_BASE
+            if not t & 7:
+                stack.append(t >> 3)
+        elif kind == "host" or instr.op == "sethnd":
+            stack.append(i + 1)
+        # ijump / icall / trap: the walk stops.
+    return False
+
+
 # ---------------------------------------------------------------------------
 # the tiering VM
 # ---------------------------------------------------------------------------
 
-class JitVM(ThreadedVM):
+class JitVM(SideExitPromotion, ThreadedVM):
     """ThreadedVM with the superblock JIT tier on top.
 
     Cold blocks run on the inherited threaded tier while per-entry heat
@@ -914,6 +841,11 @@ class JitVM(ThreadedVM):
     compiled (or fetched from the shared side table) and dispatch to
     their superblock from then on.  ``count_opcodes`` still forces the
     legacy per-instruction loop, exactly as for :class:`ThreadedVM`.
+    Guarded side exits that themselves cross the heat threshold are
+    promoted (see :class:`repro.jitcore.SideExitPromotion`): the trace
+    is re-formed with the hot direction on trace, or — when the exit
+    genuinely leaves the trace's cycle — a trace is anchored at the
+    exit target without waiting out the dispatch heat ramp.
     """
 
     def __init__(self, program, memory, hostcall=None, fuel=50_000_000,
@@ -929,12 +861,25 @@ class JitVM(ThreadedVM):
         self._superblocks_compiled = 0
         self._jit_deopts = 0
         self._jit_compile_ms = 0.0
+        profile = None
+        if cache is not None and digest is not None:
+            profile_key = ("jit-profile-omni", digest)
+            profile = cache.probe_predecoded(profile_key)
+            if profile is None:
+                profile = self.fresh_profile()
+                cache.put_predecoded(profile_key, profile)
+        self._init_promotion(profile)
+        # Adopted-profile entries dispatch straight to their promoted
+        # superblocks (the plain warm path would find the unpromoted
+        # form under the ("jit-omni", …) keys).
+        self._superblocks.update(self._promoted_fns)
 
     def run(self, entry=None):
         compiled_before = self._superblocks_compiled
         deopts_before = self._jit_deopts
         ms_before = self._jit_compile_ms
         runs_before = self._superblocks_run
+        promotions_before = self._jit_promotions
         try:
             return super().run(entry)
         finally:
@@ -951,27 +896,83 @@ class JitVM(ThreadedVM):
                 runs = self._superblocks_run - runs_before
                 if runs:
                     metrics.count("execute.superblock_runs", runs)
+                promotions = self._jit_promotions - promotions_before
+                if promotions:
+                    metrics.count("execute.jit_promotions", promotions)
 
     def _compile_entry(self, index):
         """Compile (or fetch from the side table) the superblock at
-        *index* and install it in the dispatch map."""
+        *index* and install it in the dispatch map.  Entries with
+        promotion overrides are profile-specialized: their compiled
+        form travels with the promotion profile, not the plain
+        ``("jit-omni", …)`` keys."""
+        overrides = self._trace_overrides.get(index)
         cache = self._jit_cache
         key = None
-        if cache is not None and self._jit_digest is not None:
+        if overrides:
+            fn = self._promoted_fns.get(index)
+            if fn is not None:
+                self._superblocks[index] = fn
+                return fn
+        elif cache is not None and self._jit_digest is not None:
             key = ("jit-omni", self._jit_digest, index)
             fn = cache.probe_predecoded(key)
             if fn is not None:
                 self._superblocks[index] = fn
                 return fn
         start = time.perf_counter()
-        source, fn = compile_superblock(self._threaded, index)
+        source, fn = compile_superblock(self._threaded, index, overrides)
         self._jit_compile_ms += (time.perf_counter() - start) * 1000.0
         self._superblocks_compiled += 1
         self._jit_sources[index] = source
         self._superblocks[index] = fn
-        if key is not None:
+        if overrides:
+            self._promoted_fns[index] = fn
+        elif key is not None:
             cache.put_predecoded(key, fn)
         return fn
+
+    # -- promotion hooks (repro.jitcore.SideExitPromotion) ---------------
+
+    def _promotion_profitable(self, entry, site, exit_loc):
+        instrs = self._threaded.instrs
+        n = self._threaded.length
+        entry_pc = CODE_BASE + entry * INSTR_SIZE
+        b_off = site - CODE_BASE
+        if b_off & 7 or not 0 <= (b_off >> 3) < n:
+            return False
+        branch = instrs[b_off >> 3]
+        if u32(branch.imm) == entry_pc or site + INSTR_SIZE == entry_pc:
+            # Loop-closure edges are never overridden: their side exit
+            # legitimately fires once per superblock entry, and flipping
+            # the prediction would destroy the loop trace.
+            return False
+        e_off = exit_loc - CODE_BASE
+        if e_off & 7 or not 0 <= (e_off >> 3) < n:
+            return False
+        return _path_reaches(instrs, n, e_off >> 3, entry)
+
+    def _repromote_entry(self, entry):
+        start = time.perf_counter()
+        overrides = self._trace_overrides.get(entry)
+        source, fn = compile_superblock(self._threaded, entry, overrides)
+        self._jit_compile_ms += (time.perf_counter() - start) * 1000.0
+        self._superblocks_compiled += 1
+        self._jit_sources[entry] = source
+        self._superblocks[entry] = fn
+        if overrides:
+            self._promoted_fns[entry] = fn
+        else:
+            # all overrides reverted: the plain trace is current again
+            self._promoted_fns.pop(entry, None)
+
+    def _anchor_exit(self, exit_loc):
+        off = exit_loc - CODE_BASE
+        if off & 7 or not 0 <= (off >> 3) < self._threaded.length:
+            return
+        index = off >> 3
+        if index not in self._superblocks:
+            self._compile_entry(index)
 
     def _run_loop(self, state, instrs, sentinel):
         if self.count_opcodes:

@@ -38,10 +38,10 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cache import TranslationCache
 
 #: Execution engines the loaders accept (see ``engine=`` below).
-#: ``"auto"`` picks the best tier for the executor: the superblock JIT
-#: for the reference interpreter, the threaded engine for native
-#: targets (which have no JIT tier — ``"jit"`` falls back to threaded
-#: there).
+#: ``"auto"`` picks the best tier for the executor: the trace-based
+#: superblock JIT — :mod:`repro.omnivm.jit` on the reference
+#: interpreter, :mod:`repro.targets.jit` on the four native targets —
+#: layered over the threaded engine; ``"jit"`` requests it explicitly.
 ENGINES = ("auto", "jit", "threaded", "legacy")
 
 

@@ -100,13 +100,14 @@ def load_for_target(
     verification, translation, and SFI verification entirely (the cached
     code was verified when it entered the cache).
 
-    ``engine`` selects the simulator loop: ``"threaded"`` runs the
-    predecoded block-dispatch engine of :mod:`repro.targets.threaded`
-    (same cycles, registers, and faults; fuel charged per block);
-    ``"legacy"`` runs the original per-instruction loop.  The superblock
-    JIT tier is interpreter-only, so ``"auto"`` (default) and ``"jit"``
-    select the threaded simulator here.  Threaded predecode artifacts
-    are reused through the cache's in-memory side table.
+    ``engine`` selects the simulator loop: ``"legacy"`` runs the
+    original per-instruction loop; ``"threaded"`` runs the predecoded
+    block-dispatch engine of :mod:`repro.targets.threaded` (same
+    cycles, registers, and faults; fuel charged per block); ``"auto"``
+    (default) and ``"jit"`` add the native superblock JIT tier of
+    :mod:`repro.targets.jit` on top of the threaded engine.  Threaded
+    predecode artifacts and compiled superblocks are reused through the
+    cache's in-memory side table.
     """
     from repro.runtime.loader import _check_engine
 
@@ -184,14 +185,32 @@ def load_for_target(
             threaded = predecode_native(translated.spec, translated.instrs)
             if cache is not None:
                 cache.put_predecoded(key, threaded)
-        machine: TargetMachine = ThreadedTargetMachine(
-            translated.spec,
-            translated.instrs,
-            memory,
-            translated.omni_to_native,
-            fuel=fuel,
-            threaded=threaded,
-        )
+        if engine in ("auto", "jit"):
+            from repro.targets.jit import JitTargetMachine
+
+            jit_key = None
+            if cache is not None:
+                jit_key = ("jit-native",) + cache_key(program, arch,
+                                                      options)
+            machine: TargetMachine = JitTargetMachine(
+                translated.spec,
+                translated.instrs,
+                memory,
+                translated.omni_to_native,
+                fuel=fuel,
+                threaded=threaded,
+                cache=cache,
+                jit_key=jit_key,
+            )
+        else:
+            machine = ThreadedTargetMachine(
+                translated.spec,
+                translated.instrs,
+                memory,
+                translated.omni_to_native,
+                fuel=fuel,
+                threaded=threaded,
+            )
     else:
         machine = TargetMachine(
             translated.spec,
