@@ -9,7 +9,13 @@ stops escapes.  This benchmark measures both halves of that claim:
   with the recovered graph shape (blocks, edges, joins) alongside;
 * **strength** — the sandbox-escape mutation fuzzer's kill-rate on a
   fixed seed (the acceptance bar is 100%: every unsafe mutant killed,
-  every behavior-preserving mutant still accepted).
+  every behavior-preserving mutant still accepted);
+* **template safety** (schema v2) — the exhaustive guard-template
+  model check (:mod:`repro.sfi.modelcheck`): state count and wall time
+  per target, zero surviving counterexamples required;
+* **padding ablation** (schema v2) — the instruction-padding policy
+  variant (Emamdoost & McCamant): padded-vs-unpadded cycle and static
+  size overhead per target, on the same workload.
 
 Emits the ``BENCH_sfi_verifier.json`` artifact at the repository root.
 The schema is guarded by :func:`validate_artifact`, which the tier-1
@@ -27,6 +33,9 @@ from pathlib import Path
 from repro.native.profiles import MOBILE_SFI
 from repro.omnivm.linker import LinkedProgram
 from repro.difftest.sfi_mutator import run_sfi_mutation_fuzz
+from repro.runtime.native_loader import run_on_target
+from repro.sfi.modelcheck import check_templates
+from repro.sfi.policy import PADDED_POLICY
 from repro.sfi.verifier import verify_sfi
 from repro.translators import ARCHITECTURES, translate
 from repro.workloads import suite
@@ -35,7 +44,7 @@ ARTIFACT_PATH = Path(__file__).resolve().parents[1] / (
     "BENCH_sfi_verifier.json"
 )
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: keys every per-arch entry must carry (the artifact contract)
 RESULT_KEYS = frozenset(
@@ -47,6 +56,17 @@ RESULT_KEYS = frozenset(
 FUZZ_KEYS = frozenset(
     ("seed", "programs", "mutants", "unsafe_total", "unsafe_killed",
      "kill_rate", "safe_total", "safe_accepted")
+)
+
+#: keys the template-model-check section must carry (schema v2)
+MODELCHECK_KEYS = frozenset(
+    ("ok", "states_checked", "seconds", "counterexamples")
+)
+
+#: keys every padding-ablation entry must carry (schema v2)
+PADDING_KEYS = frozenset(
+    ("arch", "cycles", "padded_cycles", "cycle_overhead",
+     "native_instrs", "padded_instrs", "pad_instrs")
 )
 
 
@@ -89,6 +109,37 @@ def collect_benchmark(
         })
     fuzz = run_sfi_mutation_fuzz(count=fuzz_programs, seed=fuzz_seed,
                                  targets=archs)
+    # Template model check: exhaustive, so one timed pass is the number.
+    start = time.perf_counter()
+    report = check_templates(archs)
+    modelcheck = {
+        "ok": report.ok,
+        "states_checked": report.states_checked,
+        "seconds": time.perf_counter() - start,
+        "counterexamples": [str(cx) for cx in report.counterexamples],
+    }
+    # Padding ablation: same workload, default vs padded policy.
+    padding = []
+    for arch in archs:
+        code0, plain = run_on_target(program, arch, MOBILE_SFI)
+        code1, padded = run_on_target(program, arch, MOBILE_SFI,
+                                      policy=PADDED_POLICY)
+        assert code0 == code1, (
+            f"padded translation diverged on {arch}: {code0} != {code1}"
+        )
+        cycles = plain.machine.cycles
+        padded_cycles = padded.machine.cycles
+        pad_instrs = sum(1 for i in padded.translated.instrs
+                         if i.category == "pad")
+        padding.append({
+            "arch": arch,
+            "cycles": cycles,
+            "padded_cycles": padded_cycles,
+            "cycle_overhead": padded_cycles / cycles - 1.0,
+            "native_instrs": len(plain.translated.instrs),
+            "padded_instrs": len(padded.translated.instrs),
+            "pad_instrs": pad_instrs,
+        })
     return {
         "benchmark": "sfi_verifier",
         "schema_version": SCHEMA_VERSION,
@@ -96,6 +147,8 @@ def collect_benchmark(
         "repeats": repeats,
         "results": results,
         "fuzz": fuzz.to_dict(),
+        "modelcheck": modelcheck,
+        "padding": padding,
     }
 
 
@@ -124,6 +177,23 @@ def validate_artifact(payload: dict) -> None:
     # The acceptance bar: every unsafe mutant killed, nothing over-tight.
     assert fuzz["kill_rate"] == 1.0, "sandbox-escape mutant survived"
     assert fuzz["safe_accepted"] == fuzz["safe_total"], "over-tight verifier"
+    modelcheck = payload.get("modelcheck")
+    assert isinstance(modelcheck, dict), "no modelcheck section"
+    missing = MODELCHECK_KEYS - modelcheck.keys()
+    assert not missing, f"modelcheck section missing keys: {sorted(missing)}"
+    # Zero surviving counterexamples is part of the artifact contract.
+    assert modelcheck["ok"] is True, "guard template counterexample"
+    assert modelcheck["counterexamples"] == []
+    assert modelcheck["states_checked"] > 0
+    padding = payload.get("padding")
+    assert isinstance(padding, list) and padding, "no padding section"
+    for entry in padding:
+        missing = PADDING_KEYS - entry.keys()
+        assert not missing, f"padding entry missing keys: {sorted(missing)}"
+        assert entry["arch"] in ARCHITECTURES
+        assert entry["padded_instrs"] >= entry["native_instrs"]
+        assert entry["pad_instrs"] >= 0
+        assert entry["cycle_overhead"] >= 0.0
 
 
 def write_artifact(payload: dict, path: Path = ARTIFACT_PATH) -> Path:
@@ -153,5 +223,21 @@ def bench_sfi_verifier(save_result):
         f" ({fuzz['unsafe_killed']}/{fuzz['unsafe_total']} unsafe killed,"
         f" {fuzz['safe_accepted']}/{fuzz['safe_total']} safe accepted)"
     )
+    mc = payload["modelcheck"]
+    lines.append(
+        f"  template model check: {mc['states_checked']} states in"
+        f" {mc['seconds'] * 1e3:.0f} ms, counterexamples:"
+        f" {len(mc['counterexamples'])}"
+    )
+    lines.append("  padding ablation (padded vs unpadded SFI):")
+    for entry in payload["padding"]:
+        lines.append(
+            f"    {entry['arch']:<6}"
+            f" cycles {entry['cycles']:9d} -> {entry['padded_cycles']:9d}"
+            f"  (+{entry['cycle_overhead'] * 100:5.1f}%),"
+            f" instrs {entry['native_instrs']:5d} ->"
+            f" {entry['padded_instrs']:5d}"
+            f" ({entry['pad_instrs']} pad)"
+        )
     save_result("sfi_verifier", "\n".join(lines))
     print(f"\nartifact: {path}")

@@ -15,6 +15,7 @@ Usage (also via ``python -m repro``):
     omnicc difftest [--count N] [--seed S] [--targets mips,ppc]
                     [--json] [--no-minimize] [--stats]
                     [--sfi [--mutants N]]
+    omnicc sfi-check [--arch mips,ppc] [--json]
     omnicc serve    --requests reqs.json [--workers N] [--processes N]
                     [--deadline SECONDS] [--json] [--stats]
 
@@ -335,6 +336,49 @@ def cmd_difftest(args: argparse.Namespace) -> int:
     return 0 if summary.clean else 1
 
 
+def cmd_sfi_check(args: argparse.Namespace) -> int:
+    """Model-check the SFI guard templates; exit 1 on a counterexample."""
+    from repro.sfi.modelcheck import check_templates
+
+    archs = tuple(args.arch.split(",")) if args.arch else None
+    if archs:
+        for arch in archs:
+            if arch not in ARCHITECTURES:
+                print(f"omnicc: unknown target {arch!r}", file=sys.stderr)
+                return 2
+    report = check_templates(archs)
+    if args.json:
+        payload = {
+            "ok": report.ok,
+            "states_checked": report.states_checked,
+            "templates": [
+                {
+                    "arch": r.arch,
+                    "template": r.template,
+                    "states": r.states,
+                    "counterexample": (str(r.counterexample)
+                                       if r.counterexample else None),
+                }
+                for r in report.results
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        per_arch: dict[str, int] = {}
+        for r in report.results:
+            per_arch[r.arch] = per_arch.get(r.arch, 0) + r.states
+        for arch, states in sorted(per_arch.items()):
+            print(f"{arch:6s} {states:8d} states")
+        if report.ok:
+            print(f"all guard templates safe "
+                  f"({report.states_checked} states checked)")
+        else:
+            for cx in report.counterexamples:
+                print()
+                print(cx)
+    return 0 if report.ok else 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Batch mode for the module-hosting service: read a JSON request
     file, run everything through one :class:`ModuleHost`, and report
@@ -607,6 +651,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --sfi: mutants derived per translated "
                         "module (default 6)")
     p.set_defaults(fn=cmd_difftest)
+
+    p = sub.add_parser(
+        "sfi-check",
+        help="exhaustively model-check the SFI guard templates "
+             "(store/jump, every target), exit 1 with a concrete "
+             "counterexample if any is unsafe")
+    p.add_argument("--arch",
+                   help="comma-separated subset of targets "
+                        "(default: all four)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the per-template report as JSON")
+    p.set_defaults(fn=cmd_sfi_check)
 
     p = sub.add_parser(
         "serve",

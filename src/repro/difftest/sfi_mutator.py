@@ -527,8 +527,18 @@ def run_sfi_mutation_fuzz(
     *mutants_per_module* mutants of 1..*max_mutations* site-disjoint
     mutations each and checks the verifier's verdict against the
     expected classification.  Deterministic for a given
-    (seed, count, targets, mutants_per_module, max_mutations)."""
+    (seed, count, targets, mutants_per_module, max_mutations).
+
+    Precondition: the guard *templates* must themselves be safe.  The
+    fuzzer's oracle assumes unmutated translator output is correct, so
+    a broken template would surface as a storm of baffling mutant
+    verdicts; model-checking the templates first turns that into one
+    loud failure with a concrete counterexample.  The check is
+    memoized, so repeated fuzz runs pay it once."""
+    from repro.sfi.modelcheck import assert_templates_safe
+
     targets = tuple(targets or ARCHITECTURES)
+    assert_templates_safe(targets)
     summary = SfiFuzzSummary(seed=seed, programs=count, targets=targets)
     generator = ProgramGenerator(seed)
     for index in range(count):

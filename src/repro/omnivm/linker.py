@@ -21,6 +21,7 @@ from repro.omnivm.encoding import encode_program
 from repro.omnivm.isa import INSTR_SIZE, VMInstr
 from repro.omnivm.memory import CODE_BASE, DATA_BASE
 from repro.omnivm.objfile import ObjectModule
+from repro.sfi.policy import check_sentinel_clearance
 from repro.utils.bits import align_up, u32
 
 
@@ -94,6 +95,9 @@ def _link(objects: list[ObjectModule], name: str,
         data_cursor = align_up(data_cursor, 8)
         data_base.append(data_cursor)
         data_cursor += len(obj.data) + obj.bss_size
+    # The last aligned slot of the code segment is the return sentinel;
+    # text that reaches it would shadow the halt address.
+    check_sentinel_clearance(0, instr_cursor)
 
     def mangle(obj_index: int, symbol: str, is_global: bool) -> str:
         return symbol if is_global else f"{symbol}@{obj_index}"

@@ -70,7 +70,11 @@ from repro.omnivm.memory import (
     Memory,
 )
 from repro.omnivm.objfile import ObjectModule
-from repro.sfi.policy import DEFAULT_POLICY, SandboxPolicy
+from repro.sfi.policy import (
+    DEFAULT_POLICY,
+    SandboxPolicy,
+    check_sentinel_clearance,
+)
 from repro.utils.bits import align_up, u32
 
 #: Module text is placed on 64-instruction boundaries; the padding is
@@ -458,6 +462,10 @@ def _dynamic_link(registry: ModuleRegistry, roots: list[str],
         data_cursor += align_up(max(data_len, 0), DATA_ALIGN)
     if instr_cursor * INSTR_SIZE > DEFAULT_SEGMENT_SIZE:
         raise LinkError("linked image exceeds the code segment")
+    # Stricter than the segment-size check: the segment's *last aligned
+    # slot* is the return sentinel, so an image whose text merely fits
+    # the segment can still shadow the halt address.
+    check_sentinel_clearance(0, instr_cursor)
     if data_cursor > DEFAULT_SEGMENT_SIZE:
         raise LinkError("linked image exceeds the data segment")
 
@@ -676,8 +684,14 @@ def translate_image(
             subprogram = layout.subprogram
             if subprogram is None:
                 continue
+            # The chunk cache is keyed on (program, arch, options) only;
+            # a module translated under a non-default sandbox policy
+            # (e.g. the padded variant) emits different code, so it must
+            # bypass the cache rather than collide with — or poison —
+            # the default-policy entry.
+            cacheable = cache is not None and layout.policy == DEFAULT_POLICY
             chunk = cache.get(subprogram, arch, options) \
-                if cache is not None else None
+                if cacheable else None
             if chunk is None:
                 metrics.count("link.chunk_miss")
                 if verify:
@@ -686,7 +700,7 @@ def translate_image(
                                   policy=layout.policy)
                 if verify:
                     verify_sfi(chunk, policy=layout.policy)
-                if cache is not None:
+                if cacheable:
                     cache.put(subprogram, arch, options, chunk)
             else:
                 metrics.count("link.chunk_hit")

@@ -20,6 +20,7 @@ from repro.omnivm.linker import LinkedProgram
 from repro.omnivm.memory import Memory, standard_module_memory
 from repro.omnivm.verifier import verify_program
 from repro.runtime.host import Host, MachineAdapter
+from repro.sfi.policy import DEFAULT_POLICY, SandboxPolicy
 from repro.targets.base import TargetMachine
 from repro.translators import TranslatedModule, TranslationOptions, translate
 from repro.translators.base import initial_register_state
@@ -92,8 +93,15 @@ def load_for_target(
     cache: "TranslationCache | None" = None,
     segment_size: int | None = None,
     engine: str = "auto",
+    policy: SandboxPolicy | None = None,
 ) -> NativeModule:
     """Translate *program* for *arch* and prepare it for execution.
+
+    ``policy`` overrides the sandbox policy for a single-program load
+    (e.g. the padded variant for the padding ablation); translations
+    under a non-default policy bypass the content-addressed cache,
+    whose keys do not include the policy.  Multi-module images carry
+    per-module policies in their layouts and ignore this parameter.
 
     With a :class:`~repro.cache.TranslationCache`, a content-addressed
     hit returns the previously verified translation and skips module
@@ -112,6 +120,11 @@ def load_for_target(
     from repro.runtime.loader import _check_engine
 
     _check_engine(engine)
+    if policy is not None and policy != DEFAULT_POLICY:
+        # Cache keys (translation, predecode, JIT) don't carry the
+        # policy; a policy-variant load must not collide with default
+        # entries.
+        cache = None
     is_image = bool(getattr(program, "modules", None))
     if is_image:
         # Multi-module image: verify the whole image (including the
@@ -132,7 +145,7 @@ def load_for_target(
         def _produce() -> TranslatedModule:
             if verify:
                 verify_program(program)
-            produced = translate(program, arch, options)
+            produced = translate(program, arch, options, policy=policy)
             if verify:
                 from repro.sfi.verifier import verify_sfi
 
@@ -141,7 +154,7 @@ def load_for_target(
                 # nothing, but it still recovers the CFG (catching
                 # malformed translator output early) and feeds the
                 # verify.sfi.* metrics uniformly.
-                verify_sfi(produced)
+                verify_sfi(produced, policy=policy or DEFAULT_POLICY)
             return produced
 
         if cache is not None:
@@ -232,9 +245,10 @@ def run_on_target(
     host: Host | None = None,
     cache: "TranslationCache | None" = None,
     engine: str = "auto",
+    policy: SandboxPolicy | None = None,
 ) -> tuple[int, NativeModule]:
     """Translate, load, run; returns (exit code, loaded module)."""
     module = load_for_target(program, arch, options, host, cache=cache,
-                             engine=engine)
+                             engine=engine, policy=policy)
     code = module.run()
     return code, module

@@ -1,0 +1,560 @@
+"""Exhaustive small-model checking of the SFI guard templates.
+
+PR 5's CFG verifier checks *emitted* code — every module, at load time.
+What it cannot catch is a bug in a guard **template** itself
+(:mod:`repro.sfi.rewrite`): the verifier recognizes the protection
+pattern the rewriter emits, so a template that is wrong in the same way
+everywhere sails through and ships on every translation.  Sotoudeh &
+Yedidia ("Automated Formal Verification of a Software Fault Isolation
+System") observe that SFI guard sequences are small enough to verify
+*once and for all* by exhaustive execution over a scaled-down model —
+no SMT solver needed, just an executor and an enumeration that provably
+covers the boundary structure of the masks.
+
+This module does exactly that.  For every target × template —
+
+* store with offset (``sw value, off(base)``),
+* store with index (``base + index``),
+* store with index **and** offset (the form that exposed the
+  offset-dropping bug, see ``sandbox_store_address``),
+* zero-offset store,
+* indirect jump,
+
+— it builds the guard sequence, executes it on a tiny ``MInstr``
+interpreter from every boundary-relevant input state, and checks five
+properties:
+
+P1 **containment** — the formed store address satisfies
+   ``policy.data_contains``; the formed jump target satisfies
+   ``policy.code_contains``.  For *every* input, not just sandboxed
+   ones: SFI redirects wild addresses, it never lets them through.
+P2 **transparency** — an effective address that was already in-sandbox
+   (and, for jumps, aligned) comes out *unchanged*.  Sandboxing must
+   not break correct programs.  This is the property that caught
+   ``base + index + offset`` silently dropping the offset.
+P3 **isolation** — the sequence writes only the scratch register:
+   every dedicated register (masks, bases, gp) and every input
+   register holds its exact input value afterwards, checked after
+   *every prefix* of the sequence, so the invariant holds even if a
+   signal, thread switch, or delay-slot split lands mid-guard.
+P4 **straight-line** — no branches, loads, stores, or ops outside the
+   small ALU vocabulary, and every instruction carries
+   ``category="sfi"``.  This is what makes delay-slot placement on
+   MIPS/SPARC safe: a scheduler may move any template instruction into
+   a branch delay slot and the same straight-line sequence still
+   executes (P3's per-prefix check covers the interruption windows).
+P5 **verifier agreement** — replaying :func:`repro.sfi.verifier
+   .scratch_step` over the sequence ends in exactly the abstract state
+   the consuming store/jump form requires.  A template the dataflow
+   verifier would reject — or, worse, one it would accept for the
+   wrong reason — fails here.  (This caught ``_next_state`` comparing
+   the rebase immediate against the hardcoded ``SANDBOX_BASE`` instead
+   of ``policy.data_base``.)
+
+Two sweeps per template:
+
+* a **boundary sweep** at full width under ``DEFAULT_POLICY``: segment
+  edges ±1, the masks and their complements, alternating bit patterns,
+  the return sentinel, and 32-bit extremes — with immediate offsets at
+  the target's signed-immediate limits;
+* an **exhaustive small-model sweep** under a scaled-down policy
+  (6-bit segments) where *every* address in and around both segments
+  is enumerated — for pair templates, every (base, index) pair.  Per
+  Sotoudeh & Yedidia, the guard ALU ops (add/and/or) treat mask bits
+  independently, so exhausting a model that contains the full boundary
+  structure of the masks generalizes to the full-width policy; the
+  boundary sweep pins the full-width corners (carry chains across bit
+  31, immediate sign extension) directly.
+
+A violation produces a :class:`Counterexample` carrying the concrete
+input state, the sequence, and what went wrong.  Wired three ways:
+tier-1 test (``tests/test_sfi_modelcheck.py``), CLI (``omnicc
+sfi-check``), and as a memoized precondition of the mutation fuzzer
+(:func:`repro.difftest.sfi_mutator.run_sfi_mutation_fuzz`) so template
+bugs cannot masquerade as fuzzer findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TranslationError, VerifyError
+from repro.sfi import rewrite, verifier
+from repro.sfi.policy import DEFAULT_POLICY, RETURN_SENTINEL, SandboxPolicy
+from repro.targets.base import MInstr, TargetSpec
+from repro.utils.bits import add32, u32
+
+#: The scaled-down policy for the exhaustive sweep: 6-bit address
+#: structure (16-byte data segment at 0x20, two aligned code slots at
+#: 0x10) satisfying the same invariants as the real layout
+#: (base & mask == 0 for both segments; code mask keeps the low 3
+#: bits clear).
+SMALL_POLICY = SandboxPolicy(
+    data_base=0x20, data_mask=0xF, code_base=0x10, code_mask=0x8,
+)
+
+#: Every store/jump guard template the rewriter owns.
+TEMPLATES = (
+    "store_offset",       # base + imm
+    "store_index",        # base + index
+    "store_index_offset", # base + index + imm
+    "store_zero",         # base alone
+    "jump",               # indirect control transfer
+)
+
+#: Ops the mini-executor implements — the guard vocabulary.  Anything
+#: else appearing in a template is itself a finding (P4).
+_ALU_OPS = frozenset("add addi and andi or ori mov li lui nop".split())
+
+#: A canary for the untouched-register check: distinguishable from 0
+#: and from every policy constant.
+_GP_CANARY = 0x5A5A5A5A
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """One concrete input state that violates a template property."""
+
+    arch: str
+    template: str
+    prop: str        # "containment" | "transparency" | ...
+    policy: SandboxPolicy
+    inputs: dict     # register/immediate assignment, by role name
+    sequence: tuple  # stringified template instructions
+    detail: str
+
+    def __str__(self) -> str:
+        inputs = ", ".join(f"{k}={v:#x}" if isinstance(v, int) else
+                           f"{k}={v}" for k, v in self.inputs.items())
+        seq = "; ".join(self.sequence) or "<empty>"
+        return (
+            f"[{self.arch}/{self.template}] {self.prop} violated: "
+            f"{self.detail}\n  inputs: {inputs}\n  sequence: {seq}\n"
+            f"  policy: data {self.policy.data_base:#x}/"
+            f"{self.policy.data_mask:#x}, code {self.policy.code_base:#x}/"
+            f"{self.policy.code_mask:#x}"
+        )
+
+
+@dataclass
+class TemplateResult:
+    arch: str
+    template: str
+    states: int = 0
+    counterexample: Counterexample | None = None
+
+
+@dataclass
+class ModelCheckReport:
+    results: list[TemplateResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.counterexample is None for r in self.results)
+
+    @property
+    def states_checked(self) -> int:
+        return sum(r.states for r in self.results)
+
+    @property
+    def counterexamples(self) -> list[Counterexample]:
+        return [r.counterexample for r in self.results
+                if r.counterexample is not None]
+
+
+class _MiniMachine:
+    """Executes a guard sequence over a plain register dict, recording
+    which registers get written.  Deliberately tiny: only the ALU
+    vocabulary guards are allowed to use (P4 rejects the rest before
+    execution reaches anything exotic)."""
+
+    def __init__(self, regs: dict[int, int]):
+        self.regs = dict(regs)
+        self.written: set[int] = set()
+
+    def step(self, instr: MInstr) -> None:
+        regs = self.regs
+        op = instr.op
+        if op == "nop":
+            return
+        rs = regs.get(instr.rs, 0)
+        rt = regs.get(instr.rt, 0)
+        if op == "add":
+            value = add32(rs, rt)
+        elif op == "addi":
+            value = add32(rs, u32(instr.imm))
+        elif op == "and":
+            value = rs & rt
+        elif op == "andi":
+            value = rs & u32(instr.imm)
+        elif op == "or":
+            value = rs | rt
+        elif op == "ori":
+            value = rs | u32(instr.imm)
+        elif op == "mov":
+            value = rs
+        elif op == "li":
+            value = u32(instr.imm)
+        elif op == "lui":
+            value = u32(instr.imm) << 16
+        else:
+            raise VerifyError(f"mini-machine cannot execute {instr}")
+        regs[instr.rd] = value
+        self.written.add(instr.rd)
+
+
+def _dedicated_values(spec: TargetSpec,
+                      policy: SandboxPolicy) -> dict[int, int]:
+    """The runtime-installed values of the dedicated registers under
+    *policy* (registers a target does not reserve — x86's -1 entries —
+    are simply absent)."""
+    by_name = {
+        "sfi_mask": policy.data_mask,
+        "sfi_base": policy.data_base,
+        "sfi_code_base": policy.code_base,
+        "sfi_code_mask": policy.code_mask,
+        "gp": _GP_CANARY,
+    }
+    values: dict[int, int] = {}
+    for name, value in by_name.items():
+        reg = spec.reserved.get(name, -1)
+        if reg >= 0:
+            values[reg] = value
+    return values
+
+
+def _free_registers(spec: TargetSpec, count: int) -> list[int]:
+    """*count* distinct general registers not reserved by the runtime."""
+    reserved = {reg for reg in spec.reserved.values() if reg >= 0}
+    out: list[int] = []
+    for reg in sorted(set(spec.int_map.values())):
+        if reg >= 0 and reg not in reserved:
+            out.append(reg)
+            if len(out) == count:
+                return out
+    raise VerifyError(f"{spec.name}: fewer than {count} free registers")
+
+
+def _boundary_values(policy: SandboxPolicy) -> list[int]:
+    """Address values at every edge of the policy's mask structure."""
+    values = {
+        0, 1, 7, 8,
+        policy.data_base - 1, policy.data_base, policy.data_base + 1,
+        policy.data_base + policy.data_mask,
+        policy.data_base + policy.data_mask + 1,
+        policy.data_mask, ~policy.data_mask,
+        policy.code_base - 1, policy.code_base, policy.code_base + 1,
+        policy.code_base + policy.code_mask,
+        policy.code_base + policy.code_mask + 1,
+        policy.code_mask, ~policy.code_mask,
+        0x55555555, 0xAAAAAAAA,
+        0x7FFFFFFF, 0x80000000, 0xFFFFFFFF,
+        RETURN_SENTINEL,
+    }
+    return sorted(u32(v) for v in values)
+
+
+def _small_values(policy: SandboxPolicy) -> list[int]:
+    """Exhaustive value set for the scaled-down policy: every address
+    from 0 through past the end of both segments, plus the 32-bit
+    extremes (wraparound / sign-boundary carries)."""
+    top = max(policy.data_base + policy.data_mask,
+              policy.code_base + policy.code_mask) + 3
+    values = list(range(top))
+    values += [0x7FFFFFFF, 0x80000000, 0xFFFFFFFF]
+    return values
+
+
+def _thin(values: list[int]) -> list[int]:
+    """A coarser grid for the register-aliasing re-runs: aliasing is a
+    *structural* variation (which register the template reads), so it
+    is exercised against a sample of the value grid; the full grid runs
+    on the canonical register assignment."""
+    head, tail = values[:-3], values[-3:]
+    return head[::3] + tail
+
+
+def _boundary_offsets(spec: TargetSpec) -> list[int]:
+    lim = 1 << (spec.imm_bits - 1)
+    return [-lim, -8, -1, 1, 7, 8, lim - 1]
+
+
+def _check_store_state(
+    spec: TargetSpec,
+    policy: SandboxPolicy,
+    template: str,
+    base_reg: int,
+    offset: int,
+    index_reg: int | None,
+    regs: dict[int, int],
+    inputs: dict,
+) -> Counterexample | None:
+    """Run one input state through the store template; None if safe."""
+
+    def bad(prop: str, seq, detail: str) -> Counterexample:
+        return Counterexample(spec.name, template, prop, policy, inputs,
+                              tuple(str(i) for i in seq), detail)
+
+    try:
+        seq, new_base, new_offset, new_index = rewrite.sandbox_store_address(
+            spec, policy, base_reg, offset, index_reg, omni_addr=0)
+    except TranslationError as exc:
+        # A typed rejection is a legal template answer (unfittable
+        # offsets); the translators fold such offsets before asking.
+        if spec.fits_imm(offset):
+            return bad("containment", (),
+                       f"rejected a fitting offset: {exc}")
+        return None
+
+    # P4: straight-line sfi-category ALU code only.
+    for instr in seq:
+        if (instr.op not in _ALU_OPS or instr.is_branch()
+                or instr.is_load() or instr.is_store()):
+            return bad("straight-line", seq,
+                       f"non-ALU instruction {instr} in guard")
+        if instr.category != "sfi":
+            return bad("straight-line", seq,
+                       f"guard instruction {instr} not category 'sfi'")
+
+    at = spec.reserved["at"]
+    machine = _MiniMachine(regs)
+    for prefix_len, instr in enumerate(seq, start=1):
+        machine.step(instr)
+        # P3 after every prefix: only the scratch register moves.
+        if machine.written - {at}:
+            clobbered = sorted(machine.written - {at})
+            return bad("isolation", seq[:prefix_len],
+                       f"writes non-scratch register(s) r{clobbered}")
+    for reg, value in regs.items():
+        if reg != at and machine.regs.get(reg) != value:
+            return bad("isolation", seq,
+                       f"r{reg} changed {value:#x} -> "
+                       f"{machine.regs.get(reg):#x}")
+
+    # The store's own addressing mode, per the returned shape.
+    formed = add32(machine.regs.get(new_base, 0), u32(new_offset))
+    if new_index is not None:
+        formed = add32(formed, machine.regs.get(new_index, 0))
+
+    # P1: containment, for every input.
+    if not policy.data_contains(formed):
+        return bad("containment", seq,
+                   f"formed address {formed:#x} outside the data sandbox")
+
+    # P2: transparency for in-sandbox effective addresses.
+    effective = add32(regs.get(base_reg, 0), u32(offset))
+    if index_reg is not None:
+        effective = add32(effective, regs.get(index_reg, 0))
+    if policy.data_contains(effective) and formed != effective:
+        return bad("transparency", seq,
+                   f"in-sandbox address {effective:#x} rewritten to "
+                   f"{formed:#x}")
+
+    # P5: the dataflow verifier's replay reaches the state the store
+    # form consumes.
+    state = verifier.SCRATCH_UNKNOWN
+    for instr in seq:
+        state = verifier.scratch_step(instr, spec, policy, state)
+    if new_index == at or new_base != at:
+        wanted = verifier.SCRATCH_DATA_MASKED       # indexed consumer
+    else:
+        wanted = verifier.SCRATCH_DATA_SANDBOXED    # direct consumer
+    if state != wanted:
+        return bad("verifier-agreement", seq,
+                   f"scratch replay ends in state {state}, store form "
+                   f"needs {wanted}")
+    return None
+
+
+def _check_jump_state(
+    spec: TargetSpec,
+    policy: SandboxPolicy,
+    target_reg: int,
+    regs: dict[int, int],
+    inputs: dict,
+) -> Counterexample | None:
+    def bad(prop: str, seq, detail: str) -> Counterexample:
+        return Counterexample(spec.name, "jump", prop, policy, inputs,
+                              tuple(str(i) for i in seq), detail)
+
+    seq, jump_reg = rewrite.sandbox_jump_target(
+        spec, policy, target_reg, omni_addr=0)
+    for instr in seq:
+        if (instr.op not in _ALU_OPS or instr.is_branch()
+                or instr.is_load() or instr.is_store()):
+            return bad("straight-line", seq,
+                       f"non-ALU instruction {instr} in guard")
+        if instr.category != "sfi":
+            return bad("straight-line", seq,
+                       f"guard instruction {instr} not category 'sfi'")
+
+    at = spec.reserved["at"]
+    machine = _MiniMachine(regs)
+    for prefix_len, instr in enumerate(seq, start=1):
+        machine.step(instr)
+        if machine.written - {at}:
+            clobbered = sorted(machine.written - {at})
+            return bad("isolation", seq[:prefix_len],
+                       f"writes non-scratch register(s) r{clobbered}")
+    for reg, value in regs.items():
+        if reg != at and machine.regs.get(reg) != value:
+            return bad("isolation", seq,
+                       f"r{reg} changed {value:#x} -> "
+                       f"{machine.regs.get(reg):#x}")
+
+    landed = machine.regs.get(jump_reg, 0)
+    if not policy.code_contains(landed):
+        return bad("containment", seq,
+                   f"jump target {landed:#x} outside the aligned code "
+                   f"segment")
+    target = regs.get(target_reg, 0)
+    if policy.code_contains(target) and landed != target:
+        return bad("transparency", seq,
+                   f"legal target {target:#x} rewritten to {landed:#x}")
+
+    state = verifier.SCRATCH_UNKNOWN
+    for instr in seq:
+        state = verifier.scratch_step(instr, spec, policy, state)
+    if state != verifier.SCRATCH_CODE_SANDBOXED:
+        return bad("verifier-agreement", seq,
+                   f"scratch replay ends in state {state}, jr needs "
+                   f"{verifier.SCRATCH_CODE_SANDBOXED}")
+    return None
+
+
+def _check_template(spec: TargetSpec, policy: SandboxPolicy,
+                    template: str, values: list[int],
+                    offsets: list[int]) -> TemplateResult:
+    """Enumerate every input state of one template under one policy;
+    stops at the first counterexample."""
+    result = TemplateResult(spec.name, template)
+    at = spec.reserved["at"]
+    base_r, index_r = _free_registers(spec, 2)
+    dedicated = _dedicated_values(spec, policy)
+
+    def regs_for(assignment: dict[int, int]) -> dict[int, int]:
+        regs = dict(dedicated)
+        regs.update(assignment)
+        return regs
+
+    if template == "jump":
+        for target_reg in (base_r, at):
+            for value in values:
+                result.states += 1
+                cx = _check_jump_state(
+                    spec, policy, target_reg,
+                    regs_for({target_reg: u32(value)}),
+                    {"target_reg": f"r{target_reg}", "target": u32(value)},
+                )
+                if cx is not None:
+                    result.counterexample = cx
+                    return result
+        return result
+
+    def cases_for(grid: list[int]) -> list[tuple[int, int, int | None]]:
+        if template == "store_zero":
+            return [(base, 0, None) for base in grid]
+        if template == "store_offset":
+            return [(base, off, None) for base in grid for off in offsets]
+        if template == "store_index":
+            return [(base, 0, idx) for base in grid for idx in grid]
+        if template == "store_index_offset":
+            small_offsets = [o for o in offsets if -8 <= o <= 8]
+            return [(base, off, idx)
+                    for base in grid for idx in grid
+                    for off in small_offsets]
+        raise ValueError(f"unknown template {template!r}")
+
+    if template in ("store_zero", "store_offset"):
+        alias_regs = [(base_r, None), (at, None)]
+    else:
+        alias_regs = [(base_r, index_r), (at, index_r), (base_r, at)]
+
+    for variant, (breg, ireg) in enumerate(alias_regs):
+        # Full grid on the canonical register assignment; the aliasing
+        # re-runs (structural variations) sample a coarser grid.
+        for base, off, idx in cases_for(values if variant == 0
+                                        else _thin(values)):
+            result.states += 1
+            assignment = {breg: u32(base)}
+            inputs = {"base_reg": f"r{breg}", "base": u32(base),
+                      "offset": off}
+            index_reg = None
+            if idx is not None:
+                index_reg = ireg
+                # Aliased registers share one value: the later
+                # assignment wins, matching a machine where base and
+                # index are the same register.
+                assignment[ireg] = u32(idx)
+                inputs["index_reg"] = f"r{ireg}"
+                inputs["index"] = u32(idx)
+                if ireg == breg:
+                    inputs["base"] = u32(idx)
+            cx = _check_store_state(
+                spec, policy, template, breg, off, index_reg,
+                regs_for(assignment), inputs,
+            )
+            if cx is not None:
+                result.counterexample = cx
+                return result
+    return result
+
+
+def check_templates(
+    archs: tuple[str, ...] | None = None,
+    policies: tuple[SandboxPolicy, ...] | None = None,
+) -> ModelCheckReport:
+    """Model-check every guard template on every requested target.
+
+    Runs the full-width boundary sweep under :data:`DEFAULT_POLICY`
+    and the exhaustive sweep under :data:`SMALL_POLICY` (or the given
+    *policies*: small-structured ones get the exhaustive treatment).
+    Returns a report; zero counterexamples means the templates are
+    proven over the enumerated state space."""
+    from repro.translators import ARCHITECTURES, target_spec
+
+    report = ModelCheckReport()
+    if archs is None:
+        archs = ARCHITECTURES
+    if policies is None:
+        policies = (DEFAULT_POLICY, SMALL_POLICY)
+    for arch in archs:
+        spec = target_spec(arch)
+        for policy in policies:
+            small = policy.data_mask < (1 << 12)
+            values = (_small_values(policy) if small
+                      else _boundary_values(policy))
+            offsets = ([-9, -8, -1, 1, 7, 8] if small
+                       else _boundary_offsets(spec))
+            for template in TEMPLATES:
+                report.results.append(
+                    _check_template(spec, policy, template, values,
+                                    offsets))
+    return report
+
+
+#: Memo of precondition runs that passed: key is (archs, identity of
+#: the template builders) so monkeypatched/broken templates re-check.
+_PRECONDITION_OK: set[tuple] = set()
+
+
+def assert_templates_safe(archs: tuple[str, ...] | None = None) -> None:
+    """Raise :class:`~repro.errors.VerifyError` with the first concrete
+    counterexample if any guard template is unsafe.
+
+    Memoized on the template functions' identities — repeated fuzzer
+    runs pay the exhaustive sweep once, but a monkeypatched (broken)
+    template is always re-checked."""
+    key = (tuple(archs) if archs is not None else None,
+           id(rewrite.sandbox_store_address),
+           id(rewrite.sandbox_jump_target))
+    if key in _PRECONDITION_OK:
+        return
+    report = check_templates(archs)
+    if not report.ok:
+        lines = [str(cx) for cx in report.counterexamples]
+        raise VerifyError(
+            "SFI guard template model check failed "
+            f"({len(lines)} template(s) unsafe):\n" + "\n".join(lines)
+        )
+    _PRECONDITION_OK.add(key)

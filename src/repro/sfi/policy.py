@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import LinkError
 from repro.omnivm.memory import CODE_BASE, SANDBOX_BASE, SANDBOX_MASK
 
 #: Indirect-jump mask: stay within the code segment's 16 MiB *and* on an
@@ -47,6 +48,14 @@ CODE_OFFSET_MASK = 0x00FFFFF8
 #: The sentinel "return to host" address: in-segment and aligned, so it
 #: survives SFI masking; the executor halts when control reaches it.
 RETURN_SENTINEL = CODE_BASE | CODE_OFFSET_MASK
+
+#: Instruction index of the sentinel's slot — the *last* aligned slot of
+#: the code segment.  Because the sentinel is a fixed point of
+#: ``sandbox_code_address`` (in-segment and aligned by construction), a
+#: real instruction laid out at this index would be unreachable: any
+#: masked transfer to it halts the machine instead.  The linkers and the
+#: translator refuse such layouts via :func:`check_sentinel_clearance`.
+SENTINEL_SLOT_INDEX = (RETURN_SENTINEL - CODE_BASE) // 8
 
 #: Maximum cumulative stack-pointer excursion (bytes, either direction)
 #: the verifier will accept on any path before declaring sp potentially
@@ -60,12 +69,24 @@ SP_EXCURSION_LIMIT = 1 << 20
 
 @dataclass(frozen=True)
 class SandboxPolicy:
-    """The constants a translator needs to emit SFI sequences."""
+    """The constants a translator needs to emit SFI sequences.
+
+    ``pad_align`` selects the instruction-padding/alignment variant
+    (Emamdoost & McCamant, "The Effect of Instruction Padding on SFI
+    Overhead"): when non-zero, the translator pads with ``nop`` so that
+    every legal indirect-entry point begins at a native instruction
+    index that is a multiple of ``pad_align`` — the bundle discipline
+    NaCl-style sandboxes use so checked regions start on fixed
+    boundaries.  ``0`` (the default) is the paper's unpadded layout.
+    The padding ablation in ``benchmarks/bench_sfi_verifier.py``
+    measures what the variant costs per target.
+    """
 
     data_base: int = SANDBOX_BASE
     data_mask: int = SANDBOX_MASK
     code_base: int = CODE_BASE
     code_mask: int = CODE_OFFSET_MASK
+    pad_align: int = 0
 
     def sandbox_data_address(self, address: int) -> int:
         """What the masked store address becomes (reference semantics)."""
@@ -78,7 +99,46 @@ class SandboxPolicy:
         return (address & ~self.data_mask) == self.data_base
 
     def code_contains(self, address: int) -> bool:
-        return (address & ~(self.code_mask | 0x7)) == self.code_base
+        """Alignment-respecting containment: the address lies in the
+        code segment *and* on an instruction boundary.
+
+        The code mask keeps the low 3 bits clear, so ``~code_mask``
+        covers them: an unaligned address is *not* contained.  (An
+        earlier revision accepted unaligned low bits via ``| 0x7``,
+        which disagreed with :meth:`sandbox_code_address` — a target
+        could be "contained" yet be changed by the masking sequence.
+        ``code_contains`` is now exactly the set of fixed points of
+        ``sandbox_code_address``, which is what the template model
+        checker proves jump templates land in.)"""
+        return (address & ~self.code_mask) == self.code_base
 
 
 DEFAULT_POLICY = SandboxPolicy()
+
+#: The padding ablation variant: indirect-entry points aligned to 8
+#: native-instruction bundles (roughly a 32-byte NaCl bundle at 4-byte
+#: encodings).
+PADDED_POLICY = SandboxPolicy(pad_align=8)
+
+
+def check_sentinel_clearance(base_index: int, num_instrs: int) -> None:
+    """Refuse layouts whose text reaches the return-sentinel slot.
+
+    ``RETURN_SENTINEL = CODE_BASE | CODE_OFFSET_MASK`` deliberately
+    collides with the last aligned slot of the code segment: the
+    executor halts there, so an instruction laid out at that index
+    could never be entered through a masked transfer, and a return
+    that *should* halt would instead appear to target real code.
+    Called by the static linker, the dynamic link-loader, and the
+    translator (link/load time), with the translation unit's absolute
+    instruction range."""
+    if num_instrs <= 0:
+        return
+    last = base_index + num_instrs - 1
+    if last >= SENTINEL_SLOT_INDEX:
+        raise LinkError(
+            f"module text reaches the return-sentinel slot: instruction "
+            f"index {last} >= {SENTINEL_SLOT_INDEX} (omni address "
+            f"{RETURN_SENTINEL:#010x} is reserved as the return "
+            f"sentinel and must stay unmapped)"
+        )

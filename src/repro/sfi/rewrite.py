@@ -26,6 +26,7 @@ recognize the protection pattern.
 
 from __future__ import annotations
 
+from repro.errors import TranslationError
 from repro.sfi.policy import SandboxPolicy
 from repro.targets.base import MInstr, TargetSpec
 
@@ -42,8 +43,22 @@ def sandbox_store_address(
 
     Returns ``(prefix_instrs, new_base_reg, new_offset, new_index_reg)``
     describing how the store itself must address memory afterwards.
+
+    Template contract (checked exhaustively by
+    :mod:`repro.sfi.modelcheck`): the sequence writes only the scratch
+    register, the formed address is contained in the data sandbox for
+    *every* input state, and an effective address that was already
+    in-sandbox is preserved exactly (``base + offset [+ index]``).  A
+    non-zero *offset* must fit the target's immediate field — callers
+    fold larger offsets into the base first; passing one that does not
+    fit is a typed error, never silently-wrong code.
     """
     at = spec.reserved["at"]
+    if offset != 0 and not spec.fits_imm(offset):
+        raise TranslationError(
+            f"SFI store offset {offset:#x} does not fit {spec.name}'s "
+            f"{spec.imm_bits}-bit immediate; fold it into the base first"
+        )
     seq: list[MInstr] = []
 
     def sfi(op: str, **kw) -> MInstr:
@@ -56,6 +71,14 @@ def sandbox_store_address(
     addr_reg = base_reg
     if index_reg is not None:
         sfi("add", rd=at, rs=base_reg, rt=index_reg)
+        if offset != 0:
+            # base + index + offset: the offset must be part of the
+            # formed address *before* masking.  (An earlier revision
+            # silently dropped it — the sandboxed address was still
+            # contained, so no escape, but an in-sandbox store would
+            # have landed at the wrong address.  Found by the template
+            # model checker's transparency property.)
+            sfi("addi", rd=at, rs=at, imm=offset)
         addr_reg = at
     elif offset != 0:
         # One address-forming instruction on every target (x86 models
@@ -127,3 +150,32 @@ def sandbox_jump_target(
     else:
         sfi("or", rd=at, rs=at, rt=spec.reserved["sfi_code_base"])
     return seq, at
+
+
+def bundle_padding(
+    spec: TargetSpec,
+    policy: SandboxPolicy,
+    position: int,
+    omni_addr: int,
+) -> list[MInstr]:
+    """Nop padding that brings *position* (a native instruction index)
+    up to the next ``policy.pad_align`` bundle boundary.
+
+    Used by the translators for the padding/alignment policy variant:
+    every indirect-entry anchor (function entry, branch target,
+    call-return point) starts a fresh bundle, so checked regions begin
+    on fixed boundaries regardless of what precedes them.  The nops
+    carry ``category="pad"`` so the ablation harness can attribute the
+    static and dynamic cost, and the SFI verifier insists pad-category
+    instructions really are nops (a non-nop hiding in padding would be
+    unverified code).  Returns ``[]`` when padding is disabled or the
+    position is already aligned.
+    """
+    align = policy.pad_align
+    if align <= 0:
+        return []
+    short = (-position) % align
+    return [
+        MInstr("nop", omni_addr=omni_addr, category="pad")
+        for _ in range(short)
+    ]

@@ -386,6 +386,15 @@ def _check_instr(ctx: _Ctx, index: int, instr: MInstr,
         # (raw stores and raw indirect jumps are legitimate output of
         # the non-SFI translator); see the module docstring.
         return
+    # Rule 0: padding is inert.  The padded policy variant inserts
+    # category-"pad" instructions at bundle boundaries; anything but a
+    # literal nop hiding under that category would be code the
+    # remaining rules never vetted as part of a guard sequence.
+    if instr.category == "pad" and instr.op != "nop":
+        raise VerifyError(
+            f"native[{index}] {instr}: pad-category instruction is "
+            f"not a nop"
+        )
     # Rule 1: dedicated registers are immutable; sp moves only by
     # small constants.
     for reg in _int_writes(instr):
@@ -476,7 +485,12 @@ def _next_state(instr: MInstr, at: int, reserved: dict,
             return _CODE_SANDBOXED
         return _UNKNOWN
     if op == "ori" and instr.rd == at and instr.rs == at:
-        if instr.imm == SANDBOX_BASE and state == _DATA_MASKED:
+        # Compare against the *policy's* data base, not the default
+        # layout constant — under a scaled-down policy (the model
+        # checker's small-model sweep) the two differ, and the
+        # hardcoded constant made replay disagree with the policy the
+        # caller asked about.
+        if instr.imm == policy.data_base and state == _DATA_MASKED:
             return _DATA_SANDBOXED
         if instr.imm == policy.code_base and state == _CODE_MASKED:
             return _CODE_SANDBOXED

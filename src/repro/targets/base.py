@@ -54,9 +54,12 @@ from repro.utils.bits import (
 
 #: Expansion categories, exactly the Figure 1 legend plus bookkeeping ones.
 #: ``fused`` marks instructions a cc-profile peephole merged into a
-#: neighbour: they execute functionally at zero issue cost.
+#: neighbour: they execute functionally at zero issue cost.  ``pad``
+#: marks bundle-alignment nops emitted under a padded sandbox policy
+#: (``SandboxPolicy.pad_align``) so the ablation harness can attribute
+#: their static and dynamic cost.
 CATEGORIES = ("base", "addr", "cmp", "ldi", "bnop", "sfi", "twoop",
-              "sched", "fused")
+              "sched", "fused", "pad")
 
 
 @dataclass

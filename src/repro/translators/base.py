@@ -219,9 +219,20 @@ class BaseTranslator:
         return module
 
     def _translate(self, program: LinkedProgram) -> TranslatedModule:
+        from repro.sfi import rewrite
+        from repro.sfi.policy import check_sentinel_clearance
+
+        base_index = getattr(program, "base_index", 0)
+        # The translation unit must stop short of the return-sentinel
+        # slot (the last aligned code address is reserved; see policy).
+        check_sentinel_clearance(base_index, len(program.instrs))
         entry_points = self._entry_points(program)
         boundaries = self._block_boundaries(program)
         module = TranslatedModule(self.spec, self.options, program=program)
+        # Padded policy variant: align every indirect-entry anchor to a
+        # pad_align-instruction bundle (padding is meaningless without
+        # the SFI machinery it hardens).
+        pad = self.policy.pad_align if self.options.sfi else 0
 
         # Pass 1: expand, one OmniVM instruction at a time, collecting
         # native blocks for scheduling.  Control targets temporarily hold
@@ -245,11 +256,20 @@ class BaseTranslator:
             module.instrs.extend(block)
             block = []
 
-        base_index = getattr(program, "base_index", 0)
         for index, instr in enumerate(program.instrs):
             omni_addr = CODE_BASE + (base_index + index) * INSTR_SIZE
             if omni_addr in boundaries:
                 flush_block()
+                if pad:
+                    # The block is empty post-flush, so the anchor's
+                    # native index is exactly len(module.instrs): bring
+                    # it to the next bundle boundary.  The nops sit
+                    # *between* blocks — finalize_block keeps delay
+                    # slots inside their block, so padding never lands
+                    # in one.
+                    module.instrs.extend(rewrite.bundle_padding(
+                        self.spec, self.policy, len(module.instrs),
+                        omni_addr))
             omni_start_index[omni_addr] = len(module.instrs) + len(block)
             if fused_skip:
                 # Second instruction of a fused pair: nothing to emit, but

@@ -90,3 +90,52 @@ class TestBenchmarkSmoke:
     def test_artifact_default_path_is_repo_root(self, bench):
         assert bench.ARTIFACT_PATH.name == "BENCH_sfi_verifier.json"
         assert bench.ARTIFACT_PATH.parent == BENCH_PATH.parents[1]
+
+
+class TestSchemaV2Sections:
+    """Schema v2: the template model check and the padding ablation are
+    part of the artifact contract."""
+
+    def test_schema_version_pinned(self, bench):
+        assert bench.SCHEMA_VERSION == 2
+
+    def test_modelcheck_section(self, payload):
+        modelcheck = payload["modelcheck"]
+        assert modelcheck["ok"] is True
+        assert modelcheck["counterexamples"] == []
+        assert modelcheck["states_checked"] > 0
+        assert modelcheck["seconds"] > 0
+
+    def test_padding_section_per_arch(self, payload):
+        entries = {entry["arch"]: entry for entry in payload["padding"]}
+        assert set(entries) == {"mips", "x86"}
+        for entry in entries.values():
+            assert entry["padded_instrs"] > entry["native_instrs"]
+            assert entry["pad_instrs"] > 0
+            assert entry["padded_cycles"] >= entry["cycles"]
+            assert entry["cycle_overhead"] >= 0.0
+
+    def test_validator_rejects_missing_v2_sections(self, bench, payload):
+        broken = json.loads(json.dumps(payload))
+        del broken["modelcheck"]
+        with pytest.raises(AssertionError):
+            bench.validate_artifact(broken)
+        broken = json.loads(json.dumps(payload))
+        broken["modelcheck"]["ok"] = False
+        with pytest.raises(AssertionError):
+            bench.validate_artifact(broken)
+        broken = json.loads(json.dumps(payload))
+        broken["padding"] = []
+        with pytest.raises(AssertionError):
+            bench.validate_artifact(broken)
+        broken = json.loads(json.dumps(payload))
+        del broken["padding"][0]["pad_instrs"]
+        with pytest.raises(AssertionError):
+            bench.validate_artifact(broken)
+
+    def test_committed_artifact_matches_schema(self, bench):
+        committed = BENCH_PATH.parents[1] / "BENCH_sfi_verifier.json"
+        payload = json.loads(committed.read_text())
+        bench.validate_artifact(payload)
+        assert {e["arch"] for e in payload["padding"]} \
+            == {"mips", "sparc", "ppc", "x86"}

@@ -290,3 +290,24 @@ class TestLinkErrorExitCodes:
             "int g(int x) { return f(x); }")
         assert main(["run", str(src), "--link", str(lib)]) == 5
         assert "cycle" in capsys.readouterr().err
+
+
+class TestSfiCheck:
+    def test_single_arch_reports_safe(self, capsys):
+        assert main(["sfi-check", "--arch", "mips"]) == 0
+        out = capsys.readouterr().out
+        assert "all guard templates safe" in out
+        assert "mips" in out
+
+    def test_json_output_parses(self, capsys):
+        assert main(["sfi-check", "--arch", "x86", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["states_checked"] > 0
+        assert all(entry["counterexample"] is None
+                   for entry in payload["templates"])
+        assert {entry["arch"] for entry in payload["templates"]} == {"x86"}
+
+    def test_unknown_arch_is_usage_error(self, capsys):
+        assert main(["sfi-check", "--arch", "vax"]) == 2
+        assert "unknown target" in capsys.readouterr().err

@@ -1,0 +1,227 @@
+"""Exhaustive model check of the SFI guard templates (the tier-1 hook).
+
+The model checker (``repro.sfi.modelcheck``) proves the per-target
+store/jump guard templates safe by exhaustive execution over boundary
+and small-model state spaces.  Covered here:
+
+* the acceptance criterion itself: every template on every target,
+  zero surviving counterexamples;
+* the checker's teeth — deliberately broken templates (dropped offset,
+  skipped masking, clobbered dedicated register, non-straight-line
+  code, verifier-state mismatch) each produce a counterexample naming
+  the violated property with a concrete input state;
+* the satellite-1 regression: ``base + index + offset`` stores fold
+  the offset into the formed address, and unfittable offsets are a
+  typed error rather than silently-wrong code;
+* the fuzzer-precondition plumbing: memoized when safe, loud when a
+  (monkeypatched) template is broken.
+"""
+
+import pytest
+
+from repro.errors import TranslationError, VerifyError
+from repro.sfi import modelcheck, rewrite, verifier
+from repro.sfi.modelcheck import (
+    SMALL_POLICY,
+    TEMPLATES,
+    _MiniMachine,
+    assert_templates_safe,
+    check_templates,
+)
+from repro.sfi.policy import DEFAULT_POLICY
+from repro.targets.base import MInstr
+from repro.translators import ARCHITECTURES, target_spec
+from repro.utils.bits import add32, u32
+
+
+class TestTemplatesAreSafe:
+    """The tentpole acceptance criterion."""
+
+    def test_every_template_every_target_no_counterexamples(self):
+        report = check_templates()
+        assert report.ok, "\n".join(str(c) for c in report.counterexamples)
+        covered = {(r.arch, r.template) for r in report.results}
+        assert covered == {(a, t) for a in ARCHITECTURES
+                           for t in TEMPLATES}
+        # Both the default and the small-model policy sweeps ran.
+        assert len(report.results) == len(ARCHITECTURES) * len(TEMPLATES) * 2
+        assert report.states_checked > 50_000
+
+    def test_small_policy_satisfies_layout_invariants(self):
+        assert SMALL_POLICY.data_base & SMALL_POLICY.data_mask == 0
+        assert SMALL_POLICY.code_base & SMALL_POLICY.code_mask == 0
+        assert SMALL_POLICY.code_mask & 0x7 == 0
+
+
+def _broken_store(drop_offset=False, skip_mask=False, clobber=None,
+                  wrong_category=False):
+    """Wrap the real store template with a specific defect."""
+    real = rewrite.sandbox_store_address
+
+    def broken(spec, policy, base_reg, offset, index_reg, omni_addr):
+        if drop_offset and index_reg is not None:
+            offset = 0  # the original satellite-1 bug
+        seq, base, off, idx = real(spec, policy, base_reg, offset,
+                                   index_reg, omni_addr)
+        if skip_mask:
+            seq = [i for i in seq if i.op not in ("and", "andi")]
+        if clobber is not None:
+            seq.append(MInstr("li", rd=spec.reserved[clobber], imm=1,
+                              omni_addr=omni_addr, category="sfi"))
+        if wrong_category:
+            for instr in seq:
+                instr.category = "base"
+        return seq, base, off, idx
+
+    return broken
+
+
+class TestCheckerCatchesBrokenTemplates:
+    def _first(self, report):
+        assert not report.ok
+        return report.counterexamples[0]
+
+    def test_dropped_offset_caught_as_transparency(self, monkeypatch):
+        monkeypatch.setattr(rewrite, "sandbox_store_address",
+                            _broken_store(drop_offset=True))
+        cx = self._first(check_templates(archs=("mips",)))
+        assert cx.prop == "transparency"
+        assert cx.template == "store_index_offset"
+        # The counterexample carries a concrete state.
+        assert "base" in cx.inputs and "offset" in cx.inputs
+        assert "index" in cx.inputs
+        assert "rewritten" in str(cx)
+
+    def test_skipped_mask_caught_as_containment(self, monkeypatch):
+        monkeypatch.setattr(rewrite, "sandbox_store_address",
+                            _broken_store(skip_mask=True))
+        report = check_templates(archs=("x86",))
+        assert any(cx.prop in ("containment", "verifier-agreement")
+                   for cx in report.counterexamples)
+
+    def test_dedicated_register_clobber_caught(self, monkeypatch):
+        monkeypatch.setattr(rewrite, "sandbox_store_address",
+                            _broken_store(clobber="gp"))
+        cx = self._first(check_templates(archs=("sparc",)))
+        assert cx.prop == "isolation"
+
+    def test_non_sfi_category_caught(self, monkeypatch):
+        monkeypatch.setattr(rewrite, "sandbox_store_address",
+                            _broken_store(wrong_category=True))
+        cx = self._first(check_templates(archs=("ppc",)))
+        assert cx.prop == "straight-line"
+
+    def test_non_straight_line_jump_caught(self, monkeypatch):
+        real = rewrite.sandbox_jump_target
+
+        def with_branch(spec, policy, target_reg, omni_addr):
+            seq, reg = real(spec, policy, target_reg, omni_addr)
+            seq.append(MInstr("beq", rs=reg, rt=reg, target=0,
+                              omni_addr=omni_addr, category="sfi"))
+            return seq, reg
+
+        monkeypatch.setattr(rewrite, "sandbox_jump_target", with_branch)
+        cx = self._first(check_templates(archs=("mips",)))
+        assert cx.prop == "straight-line"
+
+    def test_verifier_disagreement_caught(self, monkeypatch):
+        # A masking immediate that is *almost* right: containment still
+        # holds (stricter mask), but the CFG verifier's replay no longer
+        # recognizes the protection pattern.
+        real = rewrite.sandbox_store_address
+
+        def overtight(spec, policy, base_reg, offset, index_reg, omni_addr):
+            seq, base, off, idx = real(spec, policy, base_reg, offset,
+                                       index_reg, omni_addr)
+            for instr in seq:
+                if instr.op == "andi":
+                    instr.imm = policy.data_mask >> 1
+            return seq, base, off, idx
+
+        monkeypatch.setattr(rewrite, "sandbox_store_address", overtight)
+        report = check_templates(archs=("x86",))
+        assert any(cx.prop == "verifier-agreement"
+                   for cx in report.counterexamples)
+
+
+class TestOffsetFolding:
+    """Satellite 1, pinned directly against the template API."""
+
+    @pytest.mark.parametrize("arch", ARCHITECTURES)
+    def test_index_plus_offset_forms_full_address(self, arch):
+        spec = target_spec(arch)
+        policy = DEFAULT_POLICY
+        reserved = {r for r in spec.reserved.values() if r >= 0}
+        base_r, index_r = [r for r in sorted(set(spec.int_map.values()))
+                           if r not in reserved][:2]
+        base, index, offset = policy.data_base + 0x100, 0x30, 12
+        seq, nb, noff, nidx = rewrite.sandbox_store_address(
+            spec, policy, base_r, offset, index_r, omni_addr=0)
+        regs = {base_r: base, index_r: index}
+        for name, value in (("sfi_mask", policy.data_mask),
+                            ("sfi_base", policy.data_base)):
+            reg = spec.reserved.get(name, -1)
+            if reg >= 0:
+                regs[reg] = value
+        machine = _MiniMachine(regs)
+        for instr in seq:
+            machine.step(instr)
+        formed = add32(machine.regs.get(nb, 0), u32(noff))
+        if nidx is not None:
+            formed = add32(formed, machine.regs.get(nidx, 0))
+        assert formed == u32(base + index + offset)
+
+    def test_unfittable_offset_is_typed_error(self):
+        spec = target_spec("sparc")  # 13-bit immediates
+        with pytest.raises(TranslationError, match="does not fit"):
+            rewrite.sandbox_store_address(
+                spec, DEFAULT_POLICY, 8, 0x10000, 9, omni_addr=0)
+
+    def test_unfittable_offset_with_index_is_typed_error(self):
+        spec = target_spec("mips")
+        with pytest.raises(TranslationError, match="fold it into the base"):
+            rewrite.sandbox_store_address(
+                spec, DEFAULT_POLICY, 8, 1 << 20, 9, omni_addr=0)
+
+
+class TestPrecondition:
+    def test_assert_templates_safe_passes_and_memoizes(self, monkeypatch):
+        calls = {"n": 0}
+        real = modelcheck.check_templates
+
+        def counting(archs=None, policies=None):
+            calls["n"] += 1
+            return real(archs, policies)
+
+        monkeypatch.setattr(modelcheck, "check_templates", counting)
+        modelcheck._PRECONDITION_OK.clear()
+        assert_templates_safe(("mips",))
+        assert_templates_safe(("mips",))
+        assert calls["n"] == 1
+
+    def test_broken_template_raises_with_counterexample(self, monkeypatch):
+        monkeypatch.setattr(rewrite, "sandbox_store_address",
+                            _broken_store(drop_offset=True))
+        with pytest.raises(VerifyError, match="model check failed"):
+            assert_templates_safe(("mips",))
+
+
+class TestMiniMachine:
+    def test_rejects_ops_outside_guard_vocabulary(self):
+        machine = _MiniMachine({})
+        with pytest.raises(VerifyError, match="cannot execute"):
+            machine.step(MInstr("sw", rd=1, rs=2, imm=0))
+
+    def test_scratch_replay_matches_verifier_on_small_policy(self):
+        # The regression behind the _next_state fix: replay under a
+        # non-default policy must recognize the rebase immediate.
+        spec = target_spec("x86")
+        at = spec.reserved["at"]
+        seq = [
+            MInstr("andi", rd=at, rs=at, imm=SMALL_POLICY.data_mask),
+            MInstr("ori", rd=at, rs=at, imm=SMALL_POLICY.data_base),
+        ]
+        state = verifier.SCRATCH_UNKNOWN
+        for instr in seq:
+            state = verifier.scratch_step(instr, spec, SMALL_POLICY, state)
+        assert state == verifier.SCRATCH_DATA_SANDBOXED

@@ -147,3 +147,44 @@ class TestMinimization:
         assert checks > 0
         assert len(minimized) == 1
         assert minimized[0].expected == "unsafe"
+
+
+class TestTemplatePrecondition:
+    """The fuzzer refuses to run over broken guard templates: a
+    template bug must fail loudly as a model-check counterexample, not
+    masquerade as a storm of mutant verdicts."""
+
+    def test_broken_template_fails_before_fuzzing(self, monkeypatch):
+        from repro.errors import VerifyError
+        from repro.sfi import rewrite
+
+        real = rewrite.sandbox_store_address
+
+        def drops_offset(spec, policy, base_reg, offset, index_reg,
+                         omni_addr):
+            if index_reg is not None:
+                offset = 0  # the historical base+index+offset bug
+            return real(spec, policy, base_reg, offset, index_reg,
+                        omni_addr)
+
+        monkeypatch.setattr(rewrite, "sandbox_store_address", drops_offset)
+        with pytest.raises(VerifyError, match="model check failed"):
+            run_sfi_mutation_fuzz(count=1, seed="precondition",
+                                  targets=("mips",), mutants_per_module=1)
+
+    def test_precondition_is_memoized_across_runs(self, monkeypatch):
+        from repro.sfi import modelcheck
+
+        calls = {"n": 0}
+        real = modelcheck.check_templates
+
+        def counting(archs=None, policies=None):
+            calls["n"] += 1
+            return real(archs, policies)
+
+        monkeypatch.setattr(modelcheck, "check_templates", counting)
+        modelcheck._PRECONDITION_OK.clear()
+        for _ in range(2):
+            run_sfi_mutation_fuzz(count=1, seed="memo",
+                                  targets=("mips",), mutants_per_module=1)
+        assert calls["n"] == 1

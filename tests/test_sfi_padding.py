@@ -1,0 +1,143 @@
+"""The instruction-padding/alignment policy variant.
+
+``SandboxPolicy.pad_align`` (Emamdoost & McCamant's padding experiment)
+makes the translators align every indirect-entry anchor to a bundle
+boundary with category-"pad" nops.  Covered here:
+
+* every ``omni_to_native`` anchor lands on a bundle boundary, on all
+  four targets;
+* padded output is behaviorally identical to unpadded output (same
+  exit code and emitted output), just slower and bigger;
+* the CFG verifier accepts padded modules and *rejects* non-nop
+  instructions hiding under the pad category;
+* the translation cache is bypassed for non-default policies, so a
+  padded load never collides with a cached default-policy chunk;
+* the ``bundle_padding`` helper's arithmetic.
+"""
+
+import pytest
+
+from repro.cache import TranslationCache
+from repro.compiler import compile_and_link
+from repro.errors import VerifyError
+from repro.native.profiles import MOBILE_SFI
+from repro.runtime.native_loader import load_for_target, run_on_target
+from repro.sfi.policy import DEFAULT_POLICY, PADDED_POLICY, SandboxPolicy
+from repro.sfi.rewrite import bundle_padding
+from repro.sfi.verifier import verify_sfi
+from repro.targets.base import CATEGORIES, MInstr
+from repro.translators import ARCHITECTURES, target_spec, translate
+
+SRC = """
+int g[8];
+int f(int x) { g[x & 7] = x; return g[x & 7] + 1; }
+int main() {
+    int (*fp)(int) = f;
+    int i; int acc = 0;
+    for (i = 0; i < 5; i = i + 1) { acc = acc + fp(i); }
+    emit_int(acc);
+    return acc & 0xFF;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_and_link([SRC])
+
+
+class TestBundlePaddingHelper:
+    def test_disabled_policy_emits_nothing(self):
+        spec = target_spec("mips")
+        assert bundle_padding(spec, DEFAULT_POLICY, 13, 0) == []
+
+    def test_aligned_position_emits_nothing(self):
+        spec = target_spec("mips")
+        assert bundle_padding(spec, PADDED_POLICY, 16, 0) == []
+
+    def test_pads_to_next_bundle(self):
+        spec = target_spec("x86")
+        pads = bundle_padding(spec, PADDED_POLICY, 13, 0x10000010)
+        assert len(pads) == 3
+        assert all(p.op == "nop" and p.category == "pad" for p in pads)
+        assert all(p.omni_addr == 0x10000010 for p in pads)
+
+    def test_pad_category_registered(self):
+        # The legacy executor counts by category; an unregistered
+        # category would KeyError on the first padded dynamic instance.
+        assert "pad" in CATEGORIES
+
+
+class TestPaddedTranslation:
+    @pytest.mark.parametrize("arch", ARCHITECTURES)
+    def test_anchors_bundle_aligned_and_verified(self, program, arch):
+        module = translate(program, arch, MOBILE_SFI, policy=PADDED_POLICY)
+        align = PADDED_POLICY.pad_align
+        assert module.omni_to_native, "no anchors translated"
+        for omni, native in module.omni_to_native.items():
+            assert native % align == 0, (
+                f"{arch}: anchor {omni:#x} at native index {native} "
+                f"not {align}-aligned"
+            )
+        assert any(i.category == "pad" for i in module.instrs)
+        verify_sfi(module, policy=PADDED_POLICY)
+
+    def test_unpadded_translation_emits_no_pads(self, program):
+        module = translate(program, "mips", MOBILE_SFI)
+        assert not any(i.category == "pad" for i in module.instrs)
+
+    @pytest.mark.parametrize("arch", ("mips", "x86"))
+    def test_padded_run_matches_unpadded(self, program, arch, capsys):
+        code0, plain = run_on_target(program, arch, MOBILE_SFI)
+        out0 = capsys.readouterr().out
+        code1, padded = run_on_target(program, arch, MOBILE_SFI,
+                                      policy=PADDED_POLICY)
+        out1 = capsys.readouterr().out
+        assert code0 == code1
+        assert out0 == out1
+        assert len(padded.translated.instrs) > len(plain.translated.instrs)
+        # Executed pad nops are attributed to their own category.
+        assert padded.machine.category_counts.get("pad", 0) > 0
+
+    def test_custom_alignment_respected(self, program):
+        policy = SandboxPolicy(pad_align=4)
+        module = translate(program, "sparc", MOBILE_SFI, policy=policy)
+        for native in module.omni_to_native.values():
+            assert native % 4 == 0
+
+    def test_padding_requires_sfi(self, program):
+        from repro.translators import TranslationOptions
+
+        module = translate(program, "mips", TranslationOptions(sfi=False),
+                           policy=PADDED_POLICY)
+        assert not any(i.category == "pad" for i in module.instrs)
+
+
+class TestPadVerifierRule:
+    def test_non_nop_pad_instruction_rejected(self, program):
+        module = translate(program, "mips", MOBILE_SFI,
+                           policy=PADDED_POLICY)
+        pad_index = next(i for i, instr in enumerate(module.instrs)
+                         if instr.category == "pad")
+        # Smuggle real work in under the pad category: must be caught.
+        module.instrs[pad_index] = MInstr(
+            "addi", rd=module.spec.int_map[15],
+            rs=module.spec.int_map[15], imm=8, category="pad")
+        with pytest.raises(VerifyError, match="pad-category"):
+            verify_sfi(module, policy=PADDED_POLICY)
+
+
+class TestCacheBypass:
+    def test_padded_load_does_not_reuse_default_chunk(self, program):
+        cache = TranslationCache()
+        plain = load_for_target(program, "mips", MOBILE_SFI, cache=cache)
+        assert not any(i.category == "pad"
+                       for i in plain.translated.instrs)
+        padded = load_for_target(program, "mips", MOBILE_SFI, cache=cache,
+                                 policy=PADDED_POLICY)
+        assert any(i.category == "pad" for i in padded.translated.instrs)
+        # And the cached default entry was not poisoned by the padded
+        # translation.
+        again = load_for_target(program, "mips", MOBILE_SFI, cache=cache)
+        assert not any(i.category == "pad"
+                       for i in again.translated.instrs)

@@ -1,0 +1,144 @@
+"""SandboxPolicy invariants, containment boundaries, and the
+return-sentinel clearance guard.
+
+Pins the two policy-level satellites of the model-check PR:
+
+* ``code_contains`` is *alignment-respecting*: exactly the fixed
+  points of ``sandbox_code_address`` (an earlier revision accepted
+  unaligned low bits via ``| 0x7``, so a target could be "contained"
+  yet changed by the masking sequence);
+* ``RETURN_SENTINEL`` occupies the last aligned code slot, so layouts
+  whose text reaches that slot are refused at link/load/translate
+  time (a maximal-size module is the boundary case).
+"""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.native.profiles import MOBILE_SFI
+from repro.omnivm.memory import CODE_BASE, SANDBOX_BASE, SANDBOX_MASK
+from repro.sfi.policy import (
+    CODE_OFFSET_MASK,
+    DEFAULT_POLICY,
+    PADDED_POLICY,
+    RETURN_SENTINEL,
+    SENTINEL_SLOT_INDEX,
+    check_sentinel_clearance,
+)
+from repro.compiler import compile_and_link
+from repro.translators import translate
+
+SRC = "int main() { return 7; }"
+
+
+class TestPolicyInvariants:
+    """Satellite 4: the layout invariants, for every shipped policy."""
+
+    @pytest.mark.parametrize("policy", [DEFAULT_POLICY, PADDED_POLICY],
+                             ids=["default", "padded"])
+    def test_bases_do_not_overlap_masks(self, policy):
+        assert policy.data_base & policy.data_mask == 0
+        assert policy.code_base & policy.code_mask == 0
+
+    def test_code_mask_enforces_alignment(self):
+        assert CODE_OFFSET_MASK & 0x7 == 0
+
+    def test_default_policy_matches_memory_layout(self):
+        assert DEFAULT_POLICY.data_base == SANDBOX_BASE
+        assert DEFAULT_POLICY.data_mask == SANDBOX_MASK
+        assert DEFAULT_POLICY.code_base == CODE_BASE
+
+
+class TestContainmentBoundaries:
+    def test_data_segment_edges(self):
+        policy = DEFAULT_POLICY
+        lo = policy.data_base
+        hi = policy.data_base + policy.data_mask
+        assert policy.data_contains(lo)
+        assert policy.data_contains(hi)
+        assert not policy.data_contains(lo - 1)
+        assert not policy.data_contains(hi + 1)
+        assert not policy.data_contains(0)
+        assert not policy.data_contains(0xFFFFFFFF)
+
+    def test_code_segment_edges(self):
+        policy = DEFAULT_POLICY
+        assert policy.code_contains(policy.code_base)
+        assert policy.code_contains(policy.code_base + policy.code_mask)
+        assert not policy.code_contains(policy.code_base - 8)
+        assert not policy.code_contains(
+            policy.code_base + policy.code_mask + 8)
+
+    def test_code_contains_rejects_unaligned(self):
+        """Satellite 2: alignment-respecting containment."""
+        policy = DEFAULT_POLICY
+        for low_bits in (1, 2, 3, 4, 7):
+            assert not policy.code_contains(policy.code_base + 8 + low_bits)
+
+    def test_code_contains_is_fixed_point_set(self):
+        """code_contains(a) iff sandbox_code_address leaves a unchanged."""
+        policy = DEFAULT_POLICY
+        probes = [
+            policy.code_base, policy.code_base + 8, policy.code_base + 9,
+            policy.code_base + policy.code_mask, RETURN_SENTINEL,
+            policy.code_base - 1, 0, 0xFFFFFFFF, policy.data_base,
+        ]
+        for address in probes:
+            address &= 0xFFFFFFFF
+            assert policy.code_contains(address) == (
+                policy.sandbox_code_address(address) == address
+            ), hex(address)
+
+    def test_sandbox_addresses_idempotent(self):
+        policy = DEFAULT_POLICY
+        for address in (0, 1, 7, policy.data_base - 1, policy.data_base,
+                        policy.code_base + 5, 0x7FFFFFFF, 0xFFFFFFFF):
+            once = policy.sandbox_data_address(address)
+            assert policy.sandbox_data_address(once) == once
+            assert policy.data_contains(once)
+            once = policy.sandbox_code_address(address)
+            assert policy.sandbox_code_address(once) == once
+            assert policy.code_contains(once)
+
+
+class TestSentinelClearance:
+    """Satellite 3: text must stop short of the return-sentinel slot."""
+
+    def test_sentinel_is_last_aligned_slot(self):
+        assert RETURN_SENTINEL == CODE_BASE | CODE_OFFSET_MASK
+        assert SENTINEL_SLOT_INDEX == (RETURN_SENTINEL - CODE_BASE) // 8
+        assert DEFAULT_POLICY.sandbox_code_address(RETURN_SENTINEL) \
+            == RETURN_SENTINEL
+
+    def test_maximal_module_passes(self):
+        # The largest legal layout: text fills every slot *below* the
+        # sentinel's.
+        check_sentinel_clearance(0, SENTINEL_SLOT_INDEX)
+
+    def test_one_instruction_too_many_is_refused(self):
+        with pytest.raises(LinkError, match="return-sentinel slot"):
+            check_sentinel_clearance(0, SENTINEL_SLOT_INDEX + 1)
+
+    def test_based_layout_at_the_edge(self):
+        check_sentinel_clearance(SENTINEL_SLOT_INDEX - 4, 4)
+        with pytest.raises(LinkError, match="return-sentinel slot"):
+            check_sentinel_clearance(SENTINEL_SLOT_INDEX - 4, 5)
+
+    def test_empty_text_is_fine(self):
+        check_sentinel_clearance(0, 0)
+        check_sentinel_clearance(SENTINEL_SLOT_INDEX + 10, 0)
+
+    def test_translator_refuses_text_reaching_sentinel(self):
+        # A maximal-size module by index arithmetic: translation-unit
+        # placement (base_index) puts the last instruction in the
+        # sentinel slot without materializing 2M instructions.
+        program = compile_and_link([SRC])
+        program.base_index = SENTINEL_SLOT_INDEX - len(program.instrs) + 1
+        with pytest.raises(LinkError, match="return-sentinel slot"):
+            translate(program, "mips", MOBILE_SFI)
+
+    def test_sentinel_masks_to_itself_under_jump_guard(self):
+        # The executor's halt convention survives SFI masking: that is
+        # precisely why the slot must stay unmapped.
+        masked = DEFAULT_POLICY.sandbox_code_address(RETURN_SENTINEL)
+        assert masked == RETURN_SENTINEL
